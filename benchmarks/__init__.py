@@ -1,0 +1,6 @@
+"""Benchmark suite package.
+
+Being a package (rather than a loose directory) lets the benchmark
+modules import their shared fixtures as ``benchmarks.conftest`` under
+both ``pytest`` and ``python -m pytest`` invocations.
+"""

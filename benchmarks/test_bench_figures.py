@@ -1,0 +1,57 @@
+"""Benchmarks regenerating Table I, Fig. 1 and the Fig. 2/3 sweep."""
+
+import pytest
+
+from benchmarks.conftest import SCALE, run_once
+from repro.experiments import figure1_validation, figures2_3_thresholds, table1_power
+from repro.experiments.common import DEFAULT_SEED
+
+
+class TestBenchTable1:
+    def test_table1_power_curve(self, benchmark):
+        out = run_once(benchmark, table1_power.run, scale=1.0, seed=DEFAULT_SEED)
+        for row in out.rows:
+            # Every configuration within a few watts of the paper's meter.
+            assert row["measured_w"] == pytest.approx(row["paper_w"], abs=5.0)
+        # Layout independence: same total CPU, same power.
+        by = {r["configuration"]: r["measured_w"] for r in out.rows}
+        assert by["2 VCPUs @ 200%"] == pytest.approx(by["1+1 @ 2x100%"], abs=5.0)
+        assert by["4 VCPUs @ 400%"] == pytest.approx(
+            by["1+1+1+1 @ 4x100%"], abs=5.0
+        )
+
+
+class TestBenchFigure1:
+    def test_figure1_validation(self, benchmark):
+        out = run_once(benchmark, figure1_validation.run, scale=1.0, seed=DEFAULT_SEED)
+        row = out.rows[0]
+        # Paper: totals agree within a few percent (they saw -2.4 %)...
+        assert abs(row["total_error_pct"]) < 6.0
+        # ...while the instantaneous error is visibly larger than the
+        # total error, which is the figure's whole point.
+        assert row["instantaneous_mean_abs_w"] > abs(row["total_error_pct"]) / 100.0
+        assert row["real_energy_wh"] > 50.0
+
+
+class TestBenchFigures2_3:
+    def test_threshold_sweep(self, benchmark):
+        cells = run_once(
+            benchmark,
+            figures2_3_thresholds.sweep,
+            lambda_mins=(0.30, 0.70),
+            lambda_maxs=(0.50, 0.90),
+            scale=SCALE,
+            seed=DEFAULT_SEED,
+        )
+        by = {(c["lambda_min"], c["lambda_max"]): c for c in cells}
+        # Fig. 2's monotonicity: a higher lambda_min (more aggressive
+        # shutdown) never costs power at fixed lambda_max.
+        assert by[(0.70, 0.90)]["power_kwh"] <= by[(0.30, 0.90)]["power_kwh"] * 1.02
+        # Higher lambda_max (later boots) saves power at fixed lambda_min.
+        assert by[(0.30, 0.90)]["power_kwh"] <= by[(0.30, 0.50)]["power_kwh"] * 1.02
+        # Fig. 3: the passive corner keeps satisfaction at least as high
+        # as the aggressive corner.
+        assert (
+            by[(0.30, 0.50)]["satisfaction"]
+            >= by[(0.70, 0.90)]["satisfaction"] - 1.0
+        )

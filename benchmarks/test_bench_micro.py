@@ -1,0 +1,106 @@
+"""Microbenchmarks of the hot paths.
+
+The HPC guides' rule: profile the bottleneck, then optimize it.  These
+benches pin the cost of the two hottest components — score-matrix
+construction + hill climbing, and the engine's event loop — so a
+performance regression in either is caught at review time.
+"""
+
+import pytest
+
+from repro.cluster.host import Host, HostState
+from repro.cluster.spec import ClusterSpec, HostSpec, MEDIUM
+from repro.cluster.vm import Vm, VmState
+from repro.engine.config import EngineConfig
+from repro.engine.datacenter import simulate
+from repro.scheduling.baselines import BackfillingPolicy
+from repro.scheduling.score import ScoreConfig, ScoreMatrixBuilder, hill_climb
+from repro.scheduling.score.policy import ScoreBasedPolicy
+from repro.workload.job import Job
+from repro.workload.synthetic import Grid5000WeekGenerator, SyntheticConfig
+from repro.units import DAY
+
+
+def _state(n_hosts: int, n_vms: int):
+    hosts = [Host(HostSpec(host_id=i), initial_state=HostState.ON)
+             for i in range(n_hosts)]
+    vms = []
+    for j in range(n_vms):
+        job = Job(job_id=j + 1, submit_time=0.0, runtime_s=3600.0,
+                  cpu_pct=100.0, mem_mb=512.0)
+        vm = Vm(job)
+        if j % 2 == 0:  # half placed, half queued
+            host = hosts[j % n_hosts]
+            if host.fits(vm):
+                vm.state = VmState.RUNNING
+                host.add_vm(vm)
+        vms.append(vm)
+    return hosts, vms
+
+
+class TestBenchScoreMatrix:
+    @pytest.mark.parametrize("n_hosts,n_vms", [(100, 50), (100, 200)])
+    def test_matrix_build(self, benchmark, n_hosts, n_vms):
+        hosts, vms = _state(n_hosts, n_vms)
+        config = ScoreConfig.sb()
+
+        def build():
+            return ScoreMatrixBuilder(hosts, vms, 0.0, config)
+
+        builder = benchmark(build)
+        assert builder.scores.shape == (n_hosts, n_vms)
+
+    def test_hill_climb_round(self, benchmark):
+        hosts, vms = _state(100, 100)
+        config = ScoreConfig.sb()
+
+        def solve():
+            builder = ScoreMatrixBuilder(hosts, vms, 0.0, config)
+            return hill_climb(builder)
+
+        moves = benchmark(solve)
+        assert moves  # queued VMs must get placed
+
+
+class TestBenchEngine:
+    def test_engine_throughput_one_day(self, benchmark):
+        """Events/second of a one-day, 100-node, score-based run."""
+        trace = Grid5000WeekGenerator(
+            SyntheticConfig(horizon_s=DAY), seed=3
+        ).generate()
+        cluster = ClusterSpec.paper_datacenter()
+
+        def run():
+            return simulate(
+                cluster,
+                ScoreBasedPolicy(ScoreConfig.sb()),
+                trace,
+                config=EngineConfig(seed=3),
+            )
+
+        result = benchmark.pedantic(run, rounds=1, iterations=1)
+        assert result.n_completed == result.n_jobs
+        assert result.sim_events > 1000
+
+    def test_engine_throughput_backfilling(self, benchmark):
+        trace = Grid5000WeekGenerator(
+            SyntheticConfig(horizon_s=DAY), seed=3
+        ).generate()
+        cluster = ClusterSpec.paper_datacenter()
+
+        def run():
+            return simulate(
+                cluster, BackfillingPolicy(), trace, config=EngineConfig(seed=3)
+            )
+
+        result = benchmark.pedantic(run, rounds=1, iterations=1)
+        assert result.n_completed == result.n_jobs
+
+
+class TestBenchWorkload:
+    def test_trace_generation_week(self, benchmark):
+        def gen():
+            return Grid5000WeekGenerator(seed=20071001).generate()
+
+        trace = benchmark(gen)
+        assert len(trace) > 1000

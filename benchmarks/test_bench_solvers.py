@@ -1,0 +1,103 @@
+"""Benchmarks comparing the matrix solvers and the heuristic policies.
+
+Quantifies the paper's §III-B speed argument: greedy hill climbing versus
+the §II metaheuristics (SA, Tabu) on identically sized matrix problems,
+plus end-to-end runs of the classic mapping heuristics.
+"""
+
+import pytest
+
+from benchmarks.conftest import SCALE, run_once
+from repro.cluster.host import Host, HostState
+from repro.cluster.spec import HostSpec
+from repro.cluster.vm import Vm, VmState
+from repro.engine.config import EngineConfig
+from repro.engine.datacenter import simulate
+from repro.experiments import ablation_solver, ext_heuristics
+from repro.experiments.common import DEFAULT_SEED, paper_cluster
+from repro.scheduling.score import ScoreConfig, ScoreMatrixBuilder
+from repro.scheduling.score.metaheuristics import simulated_annealing, tabu_search
+from repro.scheduling.score.solver import hill_climb
+from repro.workload.job import Job
+
+
+def _problem(n_hosts=40, n_vms=30):
+    hosts = [Host(HostSpec(host_id=i), initial_state=HostState.ON)
+             for i in range(n_hosts)]
+    vms = []
+    for j in range(n_vms):
+        job = Job(job_id=j + 1, submit_time=0.0, runtime_s=3600.0,
+                  cpu_pct=100.0, mem_mb=512.0)
+        vm = Vm(job)
+        if j % 3 == 0:
+            host = hosts[j % n_hosts]
+            if host.fits(vm):
+                vm.state = VmState.RUNNING
+                host.add_vm(vm)
+        vms.append(vm)
+    return hosts, vms
+
+
+class TestBenchSolverLatency:
+    """The decision-latency comparison the paper's design rests on."""
+
+    def test_hill_climb_latency(self, benchmark):
+        hosts, vms = _problem()
+
+        def run():
+            return hill_climb(ScoreMatrixBuilder(hosts, vms, 0.0, ScoreConfig.sb()))
+
+        moves = benchmark(run)
+        assert moves
+
+    def test_sa_latency(self, benchmark):
+        hosts, vms = _problem()
+
+        def run():
+            return simulated_annealing(
+                ScoreMatrixBuilder(hosts, vms, 0.0, ScoreConfig.sb()), seed=1
+            )
+
+        moves = benchmark.pedantic(run, rounds=3, iterations=1)
+        assert moves
+
+    def test_tabu_latency(self, benchmark):
+        hosts, vms = _problem()
+
+        def run():
+            return tabu_search(
+                ScoreMatrixBuilder(hosts, vms, 0.0, ScoreConfig.sb()), seed=1
+            )
+
+        moves = benchmark.pedantic(run, rounds=3, iterations=1)
+        assert moves
+
+
+class TestBenchSolverAblation:
+    def test_solver_ablation_end_to_end(self, benchmark):
+        out = run_once(
+            benchmark, ablation_solver.run, scale=SCALE / 2, seed=DEFAULT_SEED
+        )
+        by = {r["solver"]: r for r in out.rows}
+        # At this reduced scale wall clocks are noise (the dedicated
+        # latency benchmarks above measure the real gap on full-size
+        # matrices); here assert the *quality* claim instead: greedy hill
+        # climbing stays in the same energy league as the metaheuristics.
+        assert set(by) == {"hill_climb", "sa", "tabu"}
+        kwh = [r["power_kwh"] for r in by.values()]
+        assert max(kwh) <= min(kwh) * 1.25
+        for r in by.values():
+            assert r["satisfaction"] >= 90.0
+
+
+class TestBenchHeuristics:
+    def test_heuristic_lineage(self, benchmark):
+        out = run_once(
+            benchmark, ext_heuristics.run, scale=SCALE, seed=DEFAULT_SEED
+        )
+        by = {r["policy"]: r for r in out.rows}
+        # The consolidating policies use no more energy than the
+        # completion-time mappers (which never pack deliberately).
+        assert by["SB"]["power_kwh"] <= min(
+            by["MET"]["power_kwh"], by["OLB"]["power_kwh"]
+        ) * 1.05

@@ -1,0 +1,71 @@
+#!/usr/bin/env python3
+"""Forensics: why did the scheduler do that?
+
+Runs a few hours of load with full event tracing, then:
+
+* prints the life story of one job (arrival → placement → creation →
+  maybe migration → completion) from the engine's structured event log;
+* replays the scheduler's *reasoning* for that placement with the
+  per-penalty score breakdown of every candidate host;
+* renders the datacenter power draw as a terminal sparkline.
+
+Run:  python examples/decision_forensics.py
+"""
+
+from repro import ClusterSpec, EngineConfig, ScoreBasedPolicy, ScoreConfig
+from repro.engine.datacenter import DatacenterSimulation
+from repro.engine.tracing import TraceEventKind
+from repro.scheduling.score.explain import explain_decision
+from repro.units import HOUR
+from repro.viz import sparkline
+from repro.workload import Grid5000WeekGenerator, SyntheticConfig
+
+
+def main() -> None:
+    trace = Grid5000WeekGenerator(
+        SyntheticConfig(horizon_s=6 * HOUR, base_rate_per_hour=25.0,
+                        night_fraction=0.5),
+        seed=42,
+    ).generate()
+    engine = DatacenterSimulation(
+        cluster=ClusterSpec.paper_datacenter(),
+        policy=ScoreBasedPolicy(ScoreConfig.sb()),
+        trace=trace,
+        config=EngineConfig(seed=42, trace_events=True,
+                            record_power_series=True),
+    )
+    result = engine.run()
+    log = engine.trace_log
+
+    print(f"simulated {result.n_jobs} jobs, {result.sim_events} events")
+    print(f"event log: {len(log)} records — {log.counts()}\n")
+
+    # 1. The life story of the first migrated VM (or just the first VM).
+    migrated = log.of_kind(TraceEventKind.MIGRATION_DONE)
+    vm_id = migrated[0].vm_id if migrated else log.records[0].vm_id
+    print(f"--- life of vm {vm_id} ---")
+    print(log.story(vm_id))
+
+    # 2. Replay the scheduler's reasoning for that VM's first placement,
+    #    on the *current* cluster state (illustrative breakdown).
+    vm = engine.vms[vm_id]
+    placement = next(r for r in log.for_vm(vm_id)
+                     if r.kind is TraceEventKind.PLACEMENT)
+    print(f"\n--- score breakdown for vm {vm_id} across 6 sample hosts ---")
+    sample_hosts = engine.hosts[:6]
+    decision = explain_decision(sample_hosts, vm, engine.sim.now,
+                                engine.policy.config)
+    print(decision)
+    print(f"(the engine actually placed it on host {placement.host_id} "
+          f"at t={placement.time:.0f}s)")
+
+    # 3. The datacenter power draw over the run.
+    times, watts = engine.metrics.datacenter_power.steps()
+    print("\n--- datacenter power draw ---")
+    print(sparkline(watts, width=72))
+    print(f"min {min(watts):.0f} W, max {max(watts):.0f} W, "
+          f"total {result.energy_kwh:.1f} kWh")
+
+
+if __name__ == "__main__":
+    main()

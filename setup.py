@@ -1,0 +1,12 @@
+"""Legacy setup shim.
+
+This repository is built in offline environments that lack the ``wheel``
+package, where PEP 517/660 editable installs fail.  Keeping a plain
+``setup.py`` (and no ``[build-system]`` table in pyproject.toml) lets
+``pip install -e .`` fall back to ``setup.py develop``, which works with
+setuptools alone.  All metadata lives in pyproject.toml.
+"""
+
+from setuptools import setup
+
+setup()

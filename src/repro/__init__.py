@@ -1,0 +1,109 @@
+"""repro — Energy-aware scheduling in virtualized datacenters.
+
+A from-scratch reproduction of Goiri et al., *Energy-aware Scheduling in
+Virtualized Datacenters* (IEEE CLUSTER 2010): the score-based consolidation
+scheduler with virtualization-overhead, power, SLA and reliability
+penalties, the baseline policies it is compared against, and the complete
+power-aware event-driven datacenter simulator the evaluation runs on.
+
+Quickstart
+----------
+>>> from repro import (ClusterSpec, ScoreBasedPolicy, ScoreConfig,
+...                    Grid5000WeekGenerator, SyntheticConfig, simulate)
+>>> trace = Grid5000WeekGenerator(SyntheticConfig(horizon_s=7200.0), seed=1).generate()
+>>> result = simulate(ClusterSpec.homogeneous(10), ScoreBasedPolicy(ScoreConfig.sb()), trace)
+>>> 0 <= result.satisfaction <= 100
+True
+
+See DESIGN.md for the system inventory and EXPERIMENTS.md for the
+paper-vs-measured record of every table and figure.
+"""
+
+from repro.cluster import (
+    ClusterSpec,
+    HostSpec,
+    NodeClass,
+    FAST,
+    MEDIUM,
+    SLOW,
+    Host,
+    HostState,
+    Vm,
+    VmState,
+    TablePowerModel,
+    LinearPowerModel,
+    ConstantPowerModel,
+    PAPER_TABLE_I,
+)
+from repro.engine import (
+    DatacenterSimulation,
+    EngineConfig,
+    MetricsCollector,
+    SimulationResult,
+    results_table,
+    simulate,
+)
+from repro.scheduling import (
+    BackfillingPolicy,
+    DynamicBackfillingPolicy,
+    PowerManager,
+    PowerManagerConfig,
+    RandomPolicy,
+    RoundRobinPolicy,
+    ScoreBasedPolicy,
+    ScoreConfig,
+    SchedulingPolicy,
+)
+from repro.workload import (
+    Grid5000WeekGenerator,
+    Job,
+    SyntheticConfig,
+    Trace,
+    read_gwf,
+    read_swf,
+)
+
+__version__ = "1.0.0"
+
+__all__ = [
+    # cluster
+    "ClusterSpec",
+    "HostSpec",
+    "NodeClass",
+    "FAST",
+    "MEDIUM",
+    "SLOW",
+    "Host",
+    "HostState",
+    "Vm",
+    "VmState",
+    "TablePowerModel",
+    "LinearPowerModel",
+    "ConstantPowerModel",
+    "PAPER_TABLE_I",
+    # engine
+    "DatacenterSimulation",
+    "EngineConfig",
+    "MetricsCollector",
+    "SimulationResult",
+    "results_table",
+    "simulate",
+    # scheduling
+    "BackfillingPolicy",
+    "DynamicBackfillingPolicy",
+    "PowerManager",
+    "PowerManagerConfig",
+    "RandomPolicy",
+    "RoundRobinPolicy",
+    "ScoreBasedPolicy",
+    "ScoreConfig",
+    "SchedulingPolicy",
+    # workload
+    "Grid5000WeekGenerator",
+    "Job",
+    "SyntheticConfig",
+    "Trace",
+    "read_gwf",
+    "read_swf",
+    "__version__",
+]

@@ -1,0 +1,217 @@
+"""Command-line interface: ``python -m repro`` / ``repro-sim``.
+
+Subcommands
+-----------
+
+``simulate``
+    Run one policy on the paper datacenter and print the result row.
+``experiment``
+    Regenerate one of the paper's tables/figures (or ``all``).
+``trace``
+    Generate the synthetic Grid5000 week and print its statistics (or
+    write it to SWF with ``--output``; characterize it with ``--analyze``).
+``validate``
+    Run the Fig. 1 simulator-vs-testbed validation.
+``federation``
+    Compare geo-dispatchers over the three-site demo federation.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import List, Optional
+
+from repro import __version__
+from repro.des.random import RandomStreams
+from repro.engine.config import EngineConfig
+from repro.engine.results import results_table
+from repro.experiments import registry
+from repro.experiments.common import DEFAULT_SEED, paper_cluster, paper_trace, run_policy
+from repro.scheduling.baselines import BackfillingPolicy, RandomPolicy, RoundRobinPolicy
+from repro.scheduling.dynamic_backfilling import DynamicBackfillingPolicy
+from repro.scheduling.heuristics import (
+    MaxMinPolicy,
+    MctPolicy,
+    MetPolicy,
+    MinMinPolicy,
+    OlbPolicy,
+)
+from repro.scheduling.power_manager import PowerManagerConfig
+from repro.scheduling.score import ScoreConfig
+from repro.scheduling.score.policy import ScoreBasedPolicy
+from repro.validation.compare import validate_simulator
+from repro.workload.swf import write_swf
+
+__all__ = ["main", "build_parser", "make_policy"]
+
+POLICIES = (
+    "rd", "rr", "bf", "dbf",
+    "sb0", "sb1", "sb2", "sb", "sb-full",
+    "met", "mct", "min-min", "max-min", "olb",
+)
+SOLVERS = ("hill_climb", "sa", "tabu")
+
+
+def make_policy(name: str, seed: int = DEFAULT_SEED, solver: str = "hill_climb"):
+    """Instantiate a policy by CLI name."""
+    name = name.lower()
+    simple = {
+        "rr": RoundRobinPolicy,
+        "bf": BackfillingPolicy,
+        "dbf": DynamicBackfillingPolicy,
+        "met": MetPolicy,
+        "mct": MctPolicy,
+        "min-min": MinMinPolicy,
+        "max-min": MaxMinPolicy,
+        "olb": OlbPolicy,
+    }
+    if name == "rd":
+        return RandomPolicy(RandomStreams(seed=seed))
+    if name in simple:
+        return simple[name]()
+    score = {
+        "sb0": ScoreConfig.sb0,
+        "sb1": ScoreConfig.sb1,
+        "sb2": ScoreConfig.sb2,
+        "sb": ScoreConfig.sb,
+        "sb-full": ScoreConfig.full,
+    }
+    if name in score:
+        return ScoreBasedPolicy(score[name](), solver=solver, solver_seed=seed)
+    raise SystemExit(f"unknown policy {name!r}; choose from {', '.join(POLICIES)}")
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro-sim",
+        description=(
+            "Energy-aware scheduling in virtualized datacenters "
+            "(CLUSTER 2010 reproduction)"
+        ),
+    )
+    parser.add_argument("--version", action="version", version=__version__)
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    sim = sub.add_parser("simulate", help="run one policy on the paper datacenter")
+    sim.add_argument("--policy", choices=POLICIES, default="sb")
+    sim.add_argument("--solver", choices=SOLVERS, default="hill_climb",
+                     help="matrix solver for the score-based policies")
+    sim.add_argument("--scale", type=float, default=1.0,
+                     help="fraction of the week to simulate (default 1.0)")
+    sim.add_argument("--seed", type=int, default=DEFAULT_SEED)
+    sim.add_argument("--lambda-min", type=float, default=0.30)
+    sim.add_argument("--lambda-max", type=float, default=0.90)
+    sim.add_argument("--hosts", type=int, default=100)
+    sim.add_argument("--jobs-csv", type=str, default=None,
+                     help="write per-job records (wait, stretch, S) to CSV")
+
+    exp = sub.add_parser("experiment", help="regenerate a paper table/figure")
+    exp.add_argument("exp_id", choices=registry.list_ids() + ["all"])
+    exp.add_argument("--scale", type=float, default=1.0)
+    exp.add_argument("--seed", type=int, default=DEFAULT_SEED)
+
+    tr = sub.add_parser("trace", help="generate the synthetic Grid5000 week")
+    tr.add_argument("--scale", type=float, default=1.0)
+    tr.add_argument("--seed", type=int, default=DEFAULT_SEED)
+    tr.add_argument("--output", type=str, default=None,
+                    help="write the trace to this SWF file")
+    tr.add_argument("--analyze", action="store_true",
+                    help="print arrival/runtime/width histograms and the "
+                         "offered-demand sparkline")
+
+    sub.add_parser("validate", help="Fig. 1 simulator-vs-testbed validation")
+
+    fed = sub.add_parser("federation",
+                         help="compare geo-dispatchers over the demo sites")
+    fed.add_argument("--scale", type=float, default=1.0 / 7.0)
+    fed.add_argument("--seed", type=int, default=DEFAULT_SEED)
+    return parser
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    args = build_parser().parse_args(argv)
+
+    if args.command == "simulate":
+        from repro.engine.datacenter import DatacenterSimulation
+
+        trace = paper_trace(scale=args.scale, seed=args.seed)
+        engine = DatacenterSimulation(
+            cluster=paper_cluster(args.hosts),
+            policy=make_policy(args.policy, seed=args.seed, solver=args.solver),
+            trace=trace.fresh(),
+            pm_config=PowerManagerConfig(
+                lambda_min=args.lambda_min, lambda_max=args.lambda_max
+            ),
+            config=EngineConfig(seed=args.seed),
+        )
+        result = engine.run()
+        print(results_table([result]))
+        print(
+            f"jobs {result.n_completed}/{result.n_jobs} completed, "
+            f"{result.sim_events} events, "
+            f"{result.wall_clock_s:.1f} s wall clock"
+        )
+        if args.jobs_csv:
+            from repro.engine.jobstats import job_records, summarize_jobs, write_csv
+
+            records = job_records(engine)
+            write_csv(records, args.jobs_csv)
+            summary = summarize_jobs(records)
+            print(f"per-job records written to {args.jobs_csv}")
+            print(
+                "wait p50/p95/p99: "
+                f"{summary['wait_p50_s']:.0f}/{summary['wait_p95_s']:.0f}/"
+                f"{summary['wait_p99_s']:.0f} s; "
+                f"stretch p95 {summary['stretch_p95']:.2f}; "
+                f"late fraction {summary['late_fraction']:.1%}"
+            )
+        return 0
+
+    if args.command == "experiment":
+        ids = registry.list_ids() if args.exp_id == "all" else [args.exp_id]
+        for exp_id in ids:
+            output = registry.get(exp_id)(scale=args.scale, seed=args.seed)
+            print(output)
+            print()
+        return 0
+
+    if args.command == "trace":
+        trace = paper_trace(scale=args.scale, seed=args.seed)
+        print(trace.stats())
+        if args.analyze:
+            from repro.viz import sparkline
+            from repro.workload.analysis import (
+                demand_timeline,
+                hourly_arrival_counts,
+                runtime_histogram,
+                width_histogram,
+            )
+
+            _, demand = demand_timeline(trace)
+            print("offered demand (cores): " + sparkline(demand, width=60)
+                  + f"  peak {demand.max():.0f}")
+            print("arrivals by hour:       "
+                  + sparkline(hourly_arrival_counts(trace), width=24))
+            print(f"runtimes: {runtime_histogram(trace)}")
+            print(f"widths:   {width_histogram(trace)}")
+        if args.output:
+            write_swf(trace, args.output)
+            print(f"written to {args.output}")
+        return 0
+
+    if args.command == "validate":
+        print(validate_simulator())
+        return 0
+
+    if args.command == "federation":
+        from repro.experiments.ext_federation import run as run_federation
+
+        print(run_federation(scale=args.scale, seed=args.seed))
+        return 0
+
+    return 1  # pragma: no cover - argparse enforces commands
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

@@ -1,0 +1,84 @@
+"""Per-host failure/repair processes.
+
+The paper assigns each host a reliability factor ``F_rel(h) ∈ (0, 1]`` —
+the long-run fraction of time the node is up — and uses ``1 - F_rel`` as a
+failure probability in the P_fault penalty.  To *exercise* that penalty
+(the paper's §VI future work, built here as an extension experiment) we
+need an actual availability process: :class:`FailureProcess` alternates
+exponentially distributed up and down periods whose means satisfy
+
+    MTBF / (MTBF + MTTR) = F_rel.
+
+Given a mean repair time, the mean time between failures follows.  Hosts
+with ``F_rel == 1`` never fail.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+import numpy as np
+
+from repro.errors import ConfigurationError
+from repro.units import HOUR
+
+__all__ = ["FailureProcess"]
+
+
+class FailureProcess:
+    """Alternating exponential up/down process for one host.
+
+    Parameters
+    ----------
+    reliability:
+        Target availability F_rel in (0, 1]; 1 disables failures.
+    mttr_s:
+        Mean time to repair in seconds (default 2 h).
+    rng:
+        Dedicated generator (use :meth:`RandomStreams.child` so each host's
+        process is independent and reproducible).
+
+    Examples
+    --------
+    >>> import numpy as np
+    >>> fp = FailureProcess(reliability=0.9, mttr_s=3600.0,
+    ...                     rng=np.random.default_rng(0))
+    >>> fp.mtbf_s
+    32400.0
+    """
+
+    def __init__(
+        self,
+        reliability: float,
+        mttr_s: float = 2 * HOUR,
+        rng: Optional[np.random.Generator] = None,
+    ) -> None:
+        if not 0.0 < reliability <= 1.0:
+            raise ConfigurationError("reliability must be in (0, 1]")
+        if mttr_s <= 0:
+            raise ConfigurationError("mttr must be positive")
+        self.reliability = float(reliability)
+        self.mttr_s = float(mttr_s)
+        self._rng = rng or np.random.default_rng()
+
+    @property
+    def never_fails(self) -> bool:
+        """True when the host is perfectly reliable."""
+        return self.reliability >= 1.0
+
+    @property
+    def mtbf_s(self) -> float:
+        """Mean uptime between failures implied by F_rel and MTTR."""
+        if self.never_fails:
+            return float("inf")
+        return self.mttr_s * self.reliability / (1.0 - self.reliability)
+
+    def next_uptime(self) -> float:
+        """Sample the next up-period duration (inf if never failing)."""
+        if self.never_fails:
+            return float("inf")
+        return float(self._rng.exponential(self.mtbf_s))
+
+    def next_downtime(self) -> float:
+        """Sample the next repair duration."""
+        return float(self._rng.exponential(self.mttr_s))

@@ -1,0 +1,322 @@
+"""Runtime physical host model.
+
+A :class:`Host` tracks, at any simulation instant:
+
+* its lifecycle state (``OFF`` → ``BOOTING`` → ``ON``; ``FAILED`` on a
+  reliability event),
+* the VMs resident on it (running, being created, or migrating out),
+* capacity *reservations* for VMs migrating in (a destination must hold
+  room for the incoming VM during the whole transfer),
+* in-flight operations (creations and the two ends of each migration) and
+  the CPU overhead each one steals from the guests — the paper's measured
+  "CPU overload that is produced when creating new VMs or at migration
+  time" (§IV), and
+* the resulting CPU shares (via the Xen-credit solver) and power draw.
+
+The host itself is simulator-agnostic: the engine calls
+:meth:`Host.recompute_shares` whenever residency or operations change, and
+reads :meth:`Host.power_watts` to feed the energy account.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+from typing import Dict, List, Optional
+
+from repro.cluster.spec import HostSpec
+from repro.cluster.vm import Vm, VmState
+from repro.cluster.xen import CreditScheduler
+from repro.errors import CapacityError, StateError
+from repro.workload.job import Job
+
+__all__ = ["Host", "HostState", "Operation", "OperationKind"]
+
+
+class HostState(enum.Enum):
+    """Lifecycle of a physical machine."""
+
+    OFF = "off"
+    BOOTING = "booting"
+    ON = "on"
+    FAILED = "failed"
+
+
+class OperationKind(enum.Enum):
+    """Kinds of in-flight virtualization operations on a host."""
+
+    CREATE = "create"
+    MIGRATE_IN = "migrate_in"
+    MIGRATE_OUT = "migrate_out"
+    #: Periodic VM snapshotting; brief CPU burn, not a P_conc race (the
+    #: paper's middleware checkpoints with "low contribution to power
+    #: consumption" — modelled optionally to verify exactly that claim).
+    CHECKPOINT = "checkpoint"
+
+
+@dataclass
+class Operation:
+    """An in-flight creation or migration leg on a host."""
+
+    kind: OperationKind
+    vm_id: int
+    cpu_overhead: float
+    started_at: float
+    duration: float
+
+    @property
+    def ends_at(self) -> float:
+        """Scheduled completion time of the operation."""
+        return self.started_at + self.duration
+
+
+class Host:
+    """Mutable runtime state of one physical machine."""
+
+    def __init__(self, spec: HostSpec, *, initial_state: HostState = HostState.OFF) -> None:
+        self.spec = spec
+        self.state = initial_state
+        #: Resident VMs: running, creating, or migrating out.
+        self.vms: Dict[int, Vm] = {}
+        #: Reservations for VMs migrating in (vm_id -> (cpu, mem)).
+        self.reservations: Dict[int, tuple] = {}
+        #: In-flight operations.
+        self.operations: List[Operation] = []
+        self._scheduler = CreditScheduler(spec.cpu_capacity)
+        #: Total CPU percent in use (guests + overheads); updated by
+        #: :meth:`recompute_shares`.
+        self.cpu_used = 0.0
+        #: Cumulative operation counters.
+        self.total_creations = 0
+        self.total_migrations_in = 0
+        self.total_migrations_out = 0
+
+    # ------------------------------------------------------------ properties
+
+    @property
+    def host_id(self) -> int:
+        """The spec's host id."""
+        return self.spec.host_id
+
+    @property
+    def is_on(self) -> bool:
+        """Whether guests can run (state == ON)."""
+        return self.state is HostState.ON
+
+    @property
+    def is_available(self) -> bool:
+        """Whether the scheduler may target this host (on or booting)."""
+        return self.state in (HostState.ON, HostState.BOOTING)
+
+    @property
+    def is_working(self) -> bool:
+        """The paper's "working node": hosting at least one VM (or reservation)."""
+        return bool(self.vms) or bool(self.reservations)
+
+    @property
+    def is_idle(self) -> bool:
+        """On, with nothing resident, reserved, or in flight."""
+        return (
+            self.is_on
+            and not self.vms
+            and not self.reservations
+            and not self.operations
+        )
+
+    @property
+    def n_vms(self) -> int:
+        """``#VM(h)``: resident VM count (reservations included)."""
+        return len(self.vms) + len(self.reservations)
+
+    # ------------------------------------------------------------ occupation
+
+    def has_exclusive(self) -> bool:
+        """Whether a whole-node (exclusive) VM holds this host."""
+        return any(vm.exclusive for vm in self.vms.values())
+
+    def cpu_reserved(self, extra_cpu: float = 0.0) -> float:
+        """Total *requested* CPU percent (not actual shares).
+
+        An exclusive VM reserves the whole machine, whatever its job's own
+        demand — this is what inflates the CPU(h) column for the static
+        RD/RR disciplines exactly as the paper's Table II shows.
+        """
+        if self.has_exclusive():
+            return self.spec.cpu_capacity + extra_cpu
+        total = sum(vm.cpu_req for vm in self.vms.values())
+        total += sum(cpu for cpu, _ in self.reservations.values())
+        return total + extra_cpu
+
+    def mem_reserved(self, extra_mem: float = 0.0) -> float:
+        """Total requested memory in MB (full machine under exclusivity)."""
+        if self.has_exclusive():
+            return self.spec.mem_mb + extra_mem
+        total = sum(vm.mem_req for vm in self.vms.values())
+        total += sum(mem for _, mem in self.reservations.values())
+        return total + extra_mem
+
+    def occupation(self, extra_cpu: float = 0.0, extra_mem: float = 0.0) -> float:
+        """``O(h[, vm])``: the most-occupied-resource fraction (§III-A-2).
+
+        The paper's example: a host holding (10% mem, 50% CPU) and
+        (65% mem, 30% CPU) has occupation 0.8 — the CPU, its most used
+        resource.  Computed from *requirements*, not instantaneous usage.
+        """
+        cpu_frac = self.cpu_reserved(extra_cpu) / self.spec.cpu_capacity
+        mem_frac = self.mem_reserved(extra_mem) / self.spec.mem_mb
+        return max(cpu_frac, mem_frac)
+
+    def meets_requirements(self, job: Job) -> bool:
+        """Hardware/software feasibility (the P_req check)."""
+        if job.arch != self.spec.arch:
+            return False
+        if job.hypervisor != self.spec.hypervisor:
+            return False
+        if job.cpu_pct > self.spec.cpu_capacity:
+            return False
+        if job.mem_mb > self.spec.mem_mb:
+            return False
+        return True
+
+    def fits(self, vm: Vm) -> bool:
+        """Resource feasibility (the P_res check): occupation <= 1 after add."""
+        if vm.vm_id in self.vms or vm.vm_id in self.reservations:
+            return True  # already accounted here
+        if vm.exclusive:
+            return self.n_vms == 0
+        if self.has_exclusive():
+            return False
+        return self.occupation(extra_cpu=vm.cpu_req, extra_mem=vm.mem_req) <= 1.0 + 1e-9
+
+    # ------------------------------------------------------------- residency
+
+    def add_vm(self, vm: Vm) -> None:
+        """Make a VM resident (engine calls this at creation/migration end)."""
+        if vm.vm_id in self.vms:
+            raise StateError(f"vm {vm.vm_id} already on host {self.host_id}")
+        if not self.is_available:
+            raise StateError(f"host {self.host_id} is {self.state.value}")
+        self.vms[vm.vm_id] = vm
+        vm.host_id = self.host_id
+
+    def remove_vm(self, vm_id: int) -> Vm:
+        """Remove a resident VM (completion, migration-out, or failure)."""
+        try:
+            return self.vms.pop(vm_id)
+        except KeyError:
+            raise StateError(f"vm {vm_id} not on host {self.host_id}") from None
+
+    def reserve(self, vm: Vm) -> None:
+        """Reserve capacity for an inbound migration."""
+        if not self.fits(vm):
+            raise CapacityError(
+                f"host {self.host_id} cannot reserve for vm {vm.vm_id}"
+            )
+        self.reservations[vm.vm_id] = (vm.cpu_req, vm.mem_req)
+
+    def release_reservation(self, vm_id: int) -> None:
+        """Drop an inbound reservation (migration completed or aborted)."""
+        self.reservations.pop(vm_id, None)
+
+    # ------------------------------------------------------------ operations
+
+    def begin_operation(self, op: Operation) -> None:
+        """Register an in-flight operation and its CPU overhead."""
+        self.operations.append(op)
+        if op.kind is OperationKind.CREATE:
+            self.total_creations += 1
+        elif op.kind is OperationKind.MIGRATE_IN:
+            self.total_migrations_in += 1
+        elif op.kind is OperationKind.MIGRATE_OUT:
+            self.total_migrations_out += 1
+
+    def end_operation(self, kind: OperationKind, vm_id: int) -> None:
+        """Unregister a completed operation."""
+        for i, op in enumerate(self.operations):
+            if op.kind is kind and op.vm_id == vm_id:
+                del self.operations[i]
+                return
+        raise StateError(
+            f"no {kind.value} operation for vm {vm_id} on host {self.host_id}"
+        )
+
+    def operations_on(self, vm_id: int) -> List[Operation]:
+        """Operations currently touching a given VM."""
+        return [op for op in self.operations if op.vm_id == vm_id]
+
+    @property
+    def concurrency_cost(self) -> float:
+        """Σ C_conc: total remaining cost of in-flight operations (§III-A-3).
+
+        Creation legs contribute C_c of this host, migration legs C_m; this
+        is the quantity the P_conc penalty charges to VMs *not* already on
+        the host.
+        """
+        cost = 0.0
+        for op in self.operations:
+            if op.kind is OperationKind.CREATE:
+                cost += self.spec.creation_s
+            elif op.kind is OperationKind.CHECKPOINT:
+                continue  # snapshots are not racing operations (§IV)
+            else:
+                cost += self.spec.migration_s
+        return cost
+
+    # ------------------------------------------------------------ CPU shares
+
+    def recompute_shares(self) -> None:
+        """Re-solve the credit scheduler and update every VM's share.
+
+        Each RUNNING or MIGRATING-out VM *caps* at its job's declared
+        parallelism (a job cannot use more cores than it has threads) but
+        *weighs* in at its current requirement — dynamic SLA enforcement
+        inflates the requirement, which under contention buys the VM a
+        larger slice without pretending it can run faster than dedicated.
+        CREATING VMs get no CPU (the creation *operation* does); each
+        operation leg demands its configured overhead.
+        """
+        demands: Dict[str, float] = {}
+        weights: Dict[str, float] = {}
+        vm_keys: Dict[str, Vm] = {}
+        for vm in self.vms.values():
+            if vm.state in (VmState.RUNNING, VmState.MIGRATING):
+                key = f"vm:{vm.vm_id}"
+                demands[key] = vm.job.cpu_pct
+                weights[key] = vm.cpu_req
+                vm_keys[key] = vm
+        for idx, op in enumerate(self.operations):
+            key = f"op:{idx}:{op.vm_id}"
+            demands[key] = op.cpu_overhead
+            weights[key] = op.cpu_overhead
+
+        if not self.is_on:
+            for vm in self.vms.values():
+                vm.share = 0.0
+            self.cpu_used = 0.0
+            return
+
+        shares = self._scheduler.allocate(demands, weights) if demands else {}
+        for key, vm in vm_keys.items():
+            vm.share = shares.get(key, 0.0)
+        # CREATING VMs make no progress.
+        for vm in self.vms.values():
+            if vm.state is VmState.CREATING:
+                vm.share = 0.0
+        self.cpu_used = float(sum(shares.values()))
+
+    # ----------------------------------------------------------------- power
+
+    def power_watts(self) -> float:
+        """Instantaneous draw given state and CPU usage."""
+        if self.state is HostState.ON:
+            return self.spec.power_model.power(self.cpu_used)
+        if self.state is HostState.BOOTING:
+            return self.spec.boot_watts
+        return 0.0  # OFF or FAILED
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (
+            f"Host({self.host_id}, {self.state.value}, "
+            f"{len(self.vms)} vms, {len(self.operations)} ops, "
+            f"cpu={self.cpu_used:.0f}/{self.spec.cpu_capacity:.0f})"
+        )

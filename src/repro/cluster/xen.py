@@ -1,0 +1,147 @@
+"""Xen-credit-scheduler-like CPU share computation.
+
+The paper models "the behavior of the Xen HyperScheduler ... including
+characteristics like Virtual Machine Weights and Capabilities [caps]".
+Xen's credit scheduler is, at steady state, a weighted max-min fair
+processor-sharing discipline: each runnable domain receives CPU in
+proportion to its *weight*, but never more than its *cap*.
+
+:func:`compute_shares` implements exactly that as progressive (water-)
+filling: distribute the host capacity proportionally to the weights of
+unsaturated domains, freeze those that hit their cap, and redistribute the
+surplus until nothing changes.  The loop runs at most ``n`` rounds (each
+round saturates at least one domain), and each round is vectorized.
+
+Shares are recomputed only when a host's domain set or demand changes —
+between events, shares are constant, so job progress integrates in closed
+form (see DESIGN.md §7).
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Sequence
+
+import numpy as np
+
+from repro.errors import ConfigurationError
+
+__all__ = ["compute_shares", "CreditScheduler"]
+
+
+def compute_shares(
+    capacity: float,
+    caps: Sequence[float],
+    weights: Optional[Sequence[float]] = None,
+) -> np.ndarray:
+    """Weighted max-min fair allocation of ``capacity`` among domains.
+
+    Parameters
+    ----------
+    capacity:
+        Host CPU capacity in percent units (400.0 for a 4-way node).
+    caps:
+        Per-domain demand ceilings (Xen caps), same units.
+    weights:
+        Per-domain weights; defaults to the caps themselves, which matches
+        Xen's common proportional configuration (weight ∝ allotted vCPUs).
+
+    Returns
+    -------
+    numpy.ndarray
+        Allocated share per domain; ``sum(shares) <= capacity`` and
+        ``0 <= shares[i] <= caps[i]`` always hold.
+
+    Examples
+    --------
+    Uncontended hosts give everyone their cap:
+
+    >>> compute_shares(400.0, [100.0, 200.0]).tolist()
+    [100.0, 200.0]
+
+    Contention splits proportionally to weights (= caps by default):
+
+    >>> compute_shares(300.0, [100.0, 300.0]).tolist()
+    [75.0, 225.0]
+
+    A saturated domain's surplus is redistributed (water-filling) — here
+    with equal weights, the small domain caps at 50 and the rest flows on:
+
+    >>> compute_shares(300.0, [50.0, 300.0], weights=[1.0, 1.0]).tolist()
+    [50.0, 250.0]
+    """
+    if capacity < 0:
+        raise ConfigurationError(f"capacity must be >= 0, got {capacity}")
+    caps_arr = np.asarray(caps, dtype=float)
+    if caps_arr.size == 0:
+        return np.zeros(0)
+    if np.any(caps_arr < 0):
+        raise ConfigurationError("caps must be non-negative")
+    if weights is None:
+        w = caps_arr.copy()
+    else:
+        w = np.asarray(weights, dtype=float)
+        if w.shape != caps_arr.shape:
+            raise ConfigurationError("weights must match caps in length")
+        if np.any(w < 0):
+            raise ConfigurationError("weights must be non-negative")
+    # Zero-weight runnable domains still deserve their cap when idle
+    # capacity remains; give them a tiny epsilon weight.
+    w = np.where((w <= 0) & (caps_arr > 0), 1e-9, w)
+
+    total_demand = float(caps_arr.sum())
+    if total_demand <= capacity:
+        return caps_arr.copy()
+
+    shares = np.zeros_like(caps_arr)
+    active = caps_arr > 0
+    remaining = float(capacity)
+    # Each round saturates >= 1 domain, so at most n rounds.
+    for _ in range(caps_arr.size):
+        if remaining <= 1e-12 or not active.any():
+            break
+        w_active = w[active]
+        proposal = remaining * w_active / w_active.sum()
+        room = caps_arr[active] - shares[active]
+        grant = np.minimum(proposal, room)
+        shares[active] += grant
+        remaining -= float(grant.sum())
+        newly_full = np.zeros_like(active)
+        newly_full[active] = (caps_arr[active] - shares[active]) <= 1e-12
+        if not newly_full.any():
+            break  # everyone got their full proposal; fixed point
+        active &= ~newly_full
+    return shares
+
+
+class CreditScheduler:
+    """Object wrapper around :func:`compute_shares` with named domains.
+
+    Hosts use this to attach shares to VM ids and overhead operations.
+
+    Examples
+    --------
+    >>> cs = CreditScheduler(capacity=400.0)
+    >>> cs.allocate({"vm1": 300.0, "vm2": 300.0})["vm1"]
+    200.0
+    """
+
+    def __init__(self, capacity: float) -> None:
+        if capacity <= 0:
+            raise ConfigurationError("scheduler capacity must be positive")
+        self.capacity = float(capacity)
+
+    def allocate(
+        self,
+        demands: dict,
+        weights: Optional[dict] = None,
+    ) -> dict:
+        """Allocate shares for a ``name -> cap`` mapping.
+
+        Iteration order of ``demands`` fixes the domain order; Python dicts
+        preserve insertion order, so results are deterministic.
+        """
+        names = list(demands.keys())
+        caps = [demands[n] for n in names]
+        w = [weights[n] for n in names] if weights is not None else None
+        shares = compute_shares(self.capacity, caps, w)
+        return {n: float(s) for n, s in zip(names, shares)}

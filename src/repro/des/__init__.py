@@ -1,0 +1,24 @@
+"""A small discrete-event simulation (DES) kernel.
+
+The paper's evaluation runs on an OMNeT++ event-driven simulator.  This
+package is a from-scratch Python equivalent: a binary-heap event queue with
+cancellable handles (:mod:`repro.des.simulator`), deterministic named random
+streams (:mod:`repro.des.random`) and time-weighted statistics monitors
+(:mod:`repro.des.monitor`) used to integrate power into energy and to
+average node counts over a run.
+"""
+
+from repro.des.event import Event, EventHandle
+from repro.des.simulator import Simulator
+from repro.des.random import RandomStreams
+from repro.des.monitor import TimeWeightedValue, SeriesRecorder, CounterSet
+
+__all__ = [
+    "Event",
+    "EventHandle",
+    "Simulator",
+    "RandomStreams",
+    "TimeWeightedValue",
+    "SeriesRecorder",
+    "CounterSet",
+]

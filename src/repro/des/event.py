@@ -1,0 +1,74 @@
+"""Event objects for the DES kernel.
+
+An :class:`Event` couples a firing time with a zero-argument callback.
+Events are ordered by ``(time, priority, sequence)`` so that simultaneous
+events fire in a deterministic order: lower ``priority`` first, then
+insertion order.  Determinism of tie-breaking matters — the score-based
+scheduler reacts to *every* system change, so two runs of the same seed
+must observe changes in the same order to produce identical schedules.
+
+Cancellation is handled with a tombstone flag rather than heap surgery
+(:class:`EventHandle.cancel` is O(1); the simulator skips dead events when
+they surface), the standard idiom for heap-based simulators.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, Optional
+
+__all__ = ["Event", "EventHandle"]
+
+
+@dataclass(order=True)
+class Event:
+    """A scheduled callback, ordered by (time, priority, seq)."""
+
+    time: float
+    priority: int
+    seq: int
+    callback: Callable[[], None] = field(compare=False)
+    label: str = field(default="", compare=False)
+    cancelled: bool = field(default=False, compare=False)
+
+
+class EventHandle:
+    """A caller-facing handle to a scheduled event.
+
+    Holding a handle allows the owner to :meth:`cancel` the event (for
+    instance, a VM-completion event that must be re-scheduled because the
+    VM's CPU share changed) and to query whether it is still pending.
+    """
+
+    __slots__ = ("_event",)
+
+    def __init__(self, event: Event) -> None:
+        self._event = event
+
+    @property
+    def time(self) -> float:
+        """The simulation time at which the event will fire."""
+        return self._event.time
+
+    @property
+    def label(self) -> str:
+        """Human-readable label used in traces and error messages."""
+        return self._event.label
+
+    @property
+    def cancelled(self) -> bool:
+        """Whether the event has been cancelled."""
+        return self._event.cancelled
+
+    def cancel(self) -> None:
+        """Cancel the event; a no-op if it already fired or was cancelled."""
+        self._event.cancelled = True
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        state = "cancelled" if self.cancelled else "pending"
+        return f"EventHandle(t={self.time:.3f}, {self.label!r}, {state})"
+
+
+def make_handle(event: Event) -> EventHandle:
+    """Internal helper used by the simulator to wrap a raw event."""
+    return EventHandle(event)

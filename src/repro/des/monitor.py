@@ -1,0 +1,163 @@
+"""Time-weighted statistics for event-driven simulations.
+
+The paper's metrics are integrals and time-averages over a one-week run:
+energy is the integral of power, the "Work"/"ON" columns of Tables II-V are
+time-averaged node counts.  In an event-driven world these are exact — a
+monitored value is piecewise-constant between updates, so the integral is a
+sum of ``value * dt`` rectangles.
+
+:class:`TimeWeightedValue` tracks one scalar; :class:`SeriesRecorder`
+additionally keeps the raw step function for plotting (used by the Fig. 1
+validation); :class:`CounterSet` is a plain named-counter bag for discrete
+events (migrations, creations, SLA violations).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Tuple
+
+__all__ = ["TimeWeightedValue", "SeriesRecorder", "CounterSet"]
+
+
+class TimeWeightedValue:
+    """Exact integral and time-average of a piecewise-constant signal.
+
+    Examples
+    --------
+    >>> twv = TimeWeightedValue(start_time=0.0, value=2.0)
+    >>> twv.update(10.0, 4.0)   # value was 2.0 during [0, 10)
+    >>> twv.finish(20.0)        # value was 4.0 during [10, 20)
+    >>> twv.integral
+    60.0
+    >>> twv.mean
+    3.0
+    """
+
+    __slots__ = ("_t0", "_last_t", "_value", "_integral", "_min", "_max")
+
+    def __init__(self, start_time: float = 0.0, value: float = 0.0) -> None:
+        self._t0 = float(start_time)
+        self._last_t = float(start_time)
+        self._value = float(value)
+        self._integral = 0.0
+        self._min = float(value)
+        self._max = float(value)
+
+    @property
+    def value(self) -> float:
+        """The current value of the signal."""
+        return self._value
+
+    @property
+    def integral(self) -> float:
+        """∫ value dt accumulated so far (units: value-unit · seconds)."""
+        return self._integral
+
+    @property
+    def elapsed(self) -> float:
+        """Total observed time span in seconds."""
+        return self._last_t - self._t0
+
+    @property
+    def mean(self) -> float:
+        """Time-weighted mean; 0.0 before any time has elapsed."""
+        span = self.elapsed
+        return self._integral / span if span > 0 else 0.0
+
+    @property
+    def min(self) -> float:
+        """Minimum value observed."""
+        return self._min
+
+    @property
+    def max(self) -> float:
+        """Maximum value observed."""
+        return self._max
+
+    def update(self, time: float, value: float) -> None:
+        """Record that the signal changes to ``value`` at ``time``."""
+        self._accumulate(time)
+        self._value = float(value)
+        if value < self._min:
+            self._min = float(value)
+        if value > self._max:
+            self._max = float(value)
+
+    def add(self, time: float, delta: float) -> None:
+        """Increment the signal by ``delta`` at ``time`` (counter idiom)."""
+        self.update(time, self._value + delta)
+
+    def finish(self, time: float) -> None:
+        """Close the integral at the simulation horizon."""
+        self._accumulate(time)
+
+    def _accumulate(self, time: float) -> None:
+        t = float(time)
+        if t < self._last_t:
+            raise ValueError(f"time went backwards: {t} < {self._last_t}")
+        self._integral += self._value * (t - self._last_t)
+        self._last_t = t
+
+
+class SeriesRecorder(TimeWeightedValue):
+    """A :class:`TimeWeightedValue` that also keeps the raw step function.
+
+    Used where the paper plots a trace (Fig. 1's power-vs-time curves).
+    """
+
+    __slots__ = ("_times", "_values")
+
+    def __init__(self, start_time: float = 0.0, value: float = 0.0) -> None:
+        super().__init__(start_time, value)
+        self._times: List[float] = [float(start_time)]
+        self._values: List[float] = [float(value)]
+
+    def update(self, time: float, value: float) -> None:
+        super().update(time, value)
+        self._times.append(float(time))
+        self._values.append(float(value))
+
+    def steps(self) -> Tuple[List[float], List[float]]:
+        """Return ``(times, values)`` of the recorded step function."""
+        return list(self._times), list(self._values)
+
+    def sample(self, times: List[float]) -> List[float]:
+        """Sample the step function at arbitrary (sorted) times."""
+        out: List[float] = []
+        i = 0
+        n = len(self._times)
+        for t in times:
+            while i + 1 < n and self._times[i + 1] <= t:
+                i += 1
+            out.append(self._values[i] if t >= self._times[0] else self._values[0])
+        return out
+
+
+class CounterSet:
+    """Named integer counters for discrete events.
+
+    Examples
+    --------
+    >>> c = CounterSet()
+    >>> c.incr("migrations")
+    >>> c.incr("migrations", 2)
+    >>> c["migrations"]
+    3
+    """
+
+    def __init__(self) -> None:
+        self._counts: Dict[str, int] = {}
+
+    def incr(self, name: str, by: int = 1) -> None:
+        """Increase counter ``name`` by ``by`` (created at 0 on first use)."""
+        self._counts[name] = self._counts.get(name, 0) + int(by)
+
+    def __getitem__(self, name: str) -> int:
+        return self._counts.get(name, 0)
+
+    def as_dict(self) -> Dict[str, int]:
+        """A copy of all counters."""
+        return dict(self._counts)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"CounterSet({self._counts})"

@@ -1,0 +1,177 @@
+"""The discrete-event simulation loop.
+
+:class:`Simulator` owns the virtual clock and the event heap.  Components
+schedule callbacks with :meth:`Simulator.schedule` / :meth:`Simulator.at`
+and the loop advances time by popping the earliest event.  There is no
+time-stepping anywhere in the library: between events the world is
+piecewise-constant (CPU shares, power draw), which lets a week of datacenter
+operation simulate in seconds (see DESIGN.md §7 — "algorithmic optimization
+first", per the HPC coding guides).
+"""
+
+from __future__ import annotations
+
+import heapq
+import itertools
+from typing import Callable, Iterable, List, Optional
+
+from repro.des.event import Event, EventHandle
+from repro.errors import SimulationError
+
+__all__ = ["Simulator"]
+
+
+class Simulator:
+    """Event-driven simulation kernel with a monotonic virtual clock.
+
+    Parameters
+    ----------
+    start:
+        Initial simulation time (seconds). Defaults to ``0.0``.
+
+    Examples
+    --------
+    >>> sim = Simulator()
+    >>> fired = []
+    >>> _ = sim.schedule(5.0, lambda: fired.append(sim.now))
+    >>> sim.run()
+    >>> fired
+    [5.0]
+    """
+
+    def __init__(self, start: float = 0.0) -> None:
+        self._now = float(start)
+        self._heap: List[Event] = []
+        self._seq = itertools.count()
+        self._events_processed = 0
+        self._running = False
+        self._stop_requested = False
+
+    # ------------------------------------------------------------------ time
+
+    @property
+    def now(self) -> float:
+        """Current simulation time in seconds."""
+        return self._now
+
+    @property
+    def events_processed(self) -> int:
+        """Number of events fired so far (cancelled events excluded)."""
+        return self._events_processed
+
+    @property
+    def pending(self) -> int:
+        """Number of not-yet-cancelled events still in the queue."""
+        return sum(1 for e in self._heap if not e.cancelled)
+
+    # ------------------------------------------------------------- scheduling
+
+    def schedule(
+        self,
+        delay: float,
+        callback: Callable[[], None],
+        *,
+        priority: int = 0,
+        label: str = "",
+    ) -> EventHandle:
+        """Schedule ``callback`` to fire ``delay`` seconds from now.
+
+        ``delay`` must be non-negative.  ``priority`` breaks ties among
+        simultaneous events (lower fires first); insertion order breaks the
+        remaining ties, so the kernel is fully deterministic.
+        """
+        if delay < 0:
+            raise SimulationError(f"cannot schedule into the past (delay={delay})")
+        return self.at(self._now + delay, callback, priority=priority, label=label)
+
+    def at(
+        self,
+        time: float,
+        callback: Callable[[], None],
+        *,
+        priority: int = 0,
+        label: str = "",
+    ) -> EventHandle:
+        """Schedule ``callback`` at absolute simulation ``time``."""
+        if time < self._now:
+            raise SimulationError(
+                f"cannot schedule at t={time} before current time t={self._now}"
+            )
+        event = Event(
+            time=float(time),
+            priority=int(priority),
+            seq=next(self._seq),
+            callback=callback,
+            label=label,
+        )
+        heapq.heappush(self._heap, event)
+        return EventHandle(event)
+
+    # ------------------------------------------------------------------- run
+
+    def step(self) -> bool:
+        """Fire the next pending event.
+
+        Returns ``True`` if an event fired, ``False`` when the queue is
+        empty (cancelled tombstones are discarded silently).
+        """
+        while self._heap:
+            event = heapq.heappop(self._heap)
+            if event.cancelled:
+                continue
+            self._now = event.time
+            self._events_processed += 1
+            event.callback()
+            return True
+        return False
+
+    def stop(self) -> None:
+        """Request the running loop to stop after the current event.
+
+        Used by the engine when the last job completes: remaining periodic
+        ticks (SLA checks, failure clocks) must not keep an empty
+        datacenter simulating to the horizon.
+        """
+        self._stop_requested = True
+
+    def run(self, until: Optional[float] = None, max_events: Optional[int] = None) -> None:
+        """Run the event loop.
+
+        Parameters
+        ----------
+        until:
+            Stop once the clock would pass this time.  The clock is only
+            advanced to ``until`` when some event actually lies beyond it
+            (i.e. the simulated world keeps existing); if the event queue
+            simply drains, the clock stays at the last event so
+            time-weighted monitors close at the true end of activity.
+        max_events:
+            Safety valve for tests: abort after this many events.
+        """
+        if self._running:
+            raise SimulationError("simulator is not reentrant")
+        self._running = True
+        self._stop_requested = False
+        budget = max_events if max_events is not None else float("inf")
+        try:
+            while self._heap and budget > 0 and not self._stop_requested:
+                event = self._heap[0]
+                if event.cancelled:
+                    heapq.heappop(self._heap)
+                    continue
+                if until is not None and event.time > until:
+                    # The world continues past the horizon: close at it.
+                    self._now = float(until)
+                    break
+                heapq.heappop(self._heap)
+                self._now = event.time
+                self._events_processed += 1
+                event.callback()
+                budget -= 1
+        finally:
+            self._running = False
+
+    def drain(self, times: Iterable[float]) -> None:
+        """Advance through a sequence of checkpoints (testing helper)."""
+        for t in times:
+            self.run(until=t)

@@ -1,0 +1,29 @@
+"""Provider economics: revenue, energy cost, and profit-driven tuning.
+
+The paper repeatedly defers the money question — "global revenue" (§I),
+"revenue factors are not included in the experimentation at this moment"
+(§V), "an automatic setting according with economical parameters" (§V-E),
+"economical decision making" (§VI).  This package builds that layer:
+
+* :mod:`repro.economics.pricing` — a provider's tariff: what a core-hour
+  earns (discounted by the client's satisfaction — the SLA *is* the
+  contract) and what a kWh costs, optionally time-of-use;
+* :mod:`repro.economics.accounting` — turn a finished simulation into a
+  profit-and-loss statement;
+* :mod:`repro.economics.optimizer` — the deferred "automatic setting":
+  search the (λmin, λmax, C_e, C_f) space for the profit-maximizing
+  configuration of the score-based policy.
+"""
+
+from repro.economics.pricing import PricingModel, TimeOfUseTariff
+from repro.economics.accounting import ProfitStatement, assess
+from repro.economics.optimizer import EconomicOptimizer, OptimizationOutcome
+
+__all__ = [
+    "PricingModel",
+    "TimeOfUseTariff",
+    "ProfitStatement",
+    "assess",
+    "EconomicOptimizer",
+    "OptimizationOutcome",
+]

@@ -1,0 +1,124 @@
+"""Profit-and-loss accounting for a finished simulation.
+
+Revenue is per-job (contract price × delivered satisfaction); energy cost
+is the run's exact energy integral priced at the tariff.  When the
+tariff is time-of-use and the run recorded its power series, the cost is
+integrated against the instantaneous price; otherwise the mean price
+applies — the difference is itself interesting (consolidation shifts
+*when* power is burned, not only how much).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterable, Optional
+
+from repro.economics.pricing import PricingModel
+from repro.engine.datacenter import DatacenterSimulation
+from repro.engine.results import SimulationResult
+from repro.errors import ConfigurationError
+from repro.units import HOUR
+from repro.workload.job import Job
+
+__all__ = ["ProfitStatement", "assess", "revenue_of_jobs", "energy_cost"]
+
+
+@dataclass(frozen=True)
+class ProfitStatement:
+    """One run's economics."""
+
+    revenue_eur: float
+    energy_cost_eur: float
+    n_jobs: int
+    energy_kwh: float
+
+    @property
+    def profit_eur(self) -> float:
+        """Net: revenue minus energy cost."""
+        return self.revenue_eur - self.energy_cost_eur
+
+    @property
+    def margin(self) -> float:
+        """Profit as a fraction of revenue (0 when nothing was earned)."""
+        return self.profit_eur / self.revenue_eur if self.revenue_eur > 0 else 0.0
+
+    def __str__(self) -> str:
+        return (
+            f"revenue €{self.revenue_eur:.2f} − energy €{self.energy_cost_eur:.2f} "
+            f"= profit €{self.profit_eur:.2f} (margin {self.margin:.0%}, "
+            f"{self.n_jobs} jobs, {self.energy_kwh:.1f} kWh)"
+        )
+
+
+def revenue_of_jobs(jobs: Iterable[Job], pricing: PricingModel) -> float:
+    """Σ per-job revenue: dedicated core-hours × price × satisfaction."""
+    total = 0.0
+    for job in jobs:
+        core_hours = job.runtime_s * job.cores / HOUR
+        total += pricing.job_revenue(core_hours, job.satisfaction())
+    return total
+
+
+def energy_cost(
+    result: SimulationResult,
+    pricing: PricingModel,
+    power_steps: Optional[tuple] = None,
+) -> float:
+    """Energy bill of a run.
+
+    With ``power_steps`` (the recorded ``(times, watts)`` step function),
+    integrates watts × instantaneous price exactly; otherwise uses the
+    tariff's mean price on the total kWh.
+    """
+    if power_steps is None or pricing.energy is None:
+        return result.energy_kwh * pricing.mean_energy_price
+    times, watts = power_steps
+    cost = 0.0
+    for i in range(len(times) - 1):
+        cost += _segment_cost(times[i], times[i + 1], watts[i], pricing.energy)
+    # Tail segment to the horizon.
+    if times and result.horizon_s > times[-1]:
+        cost += _segment_cost(times[-1], result.horizon_s, watts[-1], pricing.energy)
+    return cost
+
+
+def _segment_cost(t0: float, t1: float, watts: float, tariff) -> float:
+    """Exact cost of a constant-watts segment across tariff boundaries."""
+    from repro.units import DAY
+
+    cost = 0.0
+    t = float(t0)
+    while t < t1 - 1e-9:
+        day0 = (t // DAY) * DAY
+        boundaries = (
+            day0 + tariff.peak_start_h * HOUR,
+            day0 + tariff.peak_end_h * HOUR,
+            day0 + DAY,
+        )
+        nxt = min((b for b in boundaries if b > t + 1e-9), default=t1)
+        seg_end = min(nxt, t1)
+        kwh = watts * (seg_end - t) / HOUR / 1000.0
+        cost += kwh * tariff.price_at(t)
+        t = seg_end
+    return cost
+
+
+def assess(
+    engine: DatacenterSimulation,
+    pricing: Optional[PricingModel] = None,
+) -> ProfitStatement:
+    """Full P&L of a finished run (needs the engine for per-job data)."""
+    pricing = pricing or PricingModel()
+    result = engine.run()  # idempotent: returns the cached result
+    jobs = [vm.job for vm in engine.vms.values()]
+    if not jobs:
+        raise ConfigurationError("run produced no jobs to bill")
+    steps = None
+    if pricing.energy is not None and engine.config.record_power_series:
+        steps = engine.metrics.datacenter_power.steps()
+    return ProfitStatement(
+        revenue_eur=revenue_of_jobs(jobs, pricing),
+        energy_cost_eur=energy_cost(result, pricing, steps),
+        n_jobs=len(jobs),
+        energy_kwh=result.energy_kwh,
+    )

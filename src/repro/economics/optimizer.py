@@ -1,0 +1,149 @@
+"""The paper's deferred "automatic setting according with economical
+parameters" (§V-E): profit-driven configuration search.
+
+§V-A tunes λmin/λmax by eyeballing the power/SLA trade-off; §V-E tunes
+C_e/C_f the same way; both sections close with "future work will include
+an automatic setting according with economical parameters".  The
+:class:`EconomicOptimizer` is that future work: it grid-searches the
+configuration space, scoring each candidate by *profit* on a calibration
+workload — the single number that already internalizes both sides of the
+trade-off (late jobs forfeit revenue; idle machines burn cost).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Optional, Sequence, Tuple
+
+from repro.cluster.spec import ClusterSpec
+from repro.economics.accounting import ProfitStatement, assess
+from repro.economics.pricing import PricingModel
+from repro.engine.config import EngineConfig
+from repro.engine.datacenter import DatacenterSimulation
+from repro.errors import ConfigurationError
+from repro.scheduling.power_manager import PowerManagerConfig
+from repro.scheduling.score import ScoreConfig
+from repro.scheduling.score.policy import ScoreBasedPolicy
+from repro.workload.trace import Trace
+
+__all__ = ["CandidateResult", "OptimizationOutcome", "EconomicOptimizer"]
+
+
+@dataclass(frozen=True)
+class CandidateResult:
+    """One evaluated configuration."""
+
+    lambda_min: float
+    lambda_max: float
+    c_empty: float
+    c_fill: float
+    statement: ProfitStatement
+    satisfaction: float
+
+    @property
+    def profit_eur(self) -> float:
+        """Net profit of this configuration on the calibration workload."""
+        return self.statement.profit_eur
+
+    def label(self) -> str:
+        """Compact configuration label."""
+        return (
+            f"λ{self.lambda_min * 100:.0f}-{self.lambda_max * 100:.0f} "
+            f"Ce={self.c_empty:.0f} Cf={self.c_fill:.0f}"
+        )
+
+
+@dataclass(frozen=True)
+class OptimizationOutcome:
+    """The search's ranked outcome."""
+
+    candidates: Tuple[CandidateResult, ...]
+
+    @property
+    def best(self) -> CandidateResult:
+        """The profit-maximizing configuration."""
+        return max(self.candidates, key=lambda c: c.profit_eur)
+
+    def table(self) -> str:
+        """All candidates, best first."""
+        ranked = sorted(self.candidates, key=lambda c: -c.profit_eur)
+        lines = [f"{'configuration':<24} {'profit €':>9} {'S (%)':>7} {'kWh':>8}"]
+        for c in ranked:
+            lines.append(
+                f"{c.label():<24} {c.profit_eur:>9.2f} "
+                f"{c.satisfaction:>7.1f} {c.statement.energy_kwh:>8.1f}"
+            )
+        return "\n".join(lines)
+
+
+class EconomicOptimizer:
+    """Grid search over (λmin, λmax, C_e, C_f) maximizing profit.
+
+    Parameters
+    ----------
+    cluster / trace / pricing / engine_config:
+        The calibration environment; the trace is re-used fresh per
+        candidate so every configuration sees the same world.
+    """
+
+    def __init__(
+        self,
+        cluster: ClusterSpec,
+        trace: Trace,
+        pricing: Optional[PricingModel] = None,
+        engine_config: Optional[EngineConfig] = None,
+    ) -> None:
+        if len(trace) == 0:
+            raise ConfigurationError("calibration trace is empty")
+        self.cluster = cluster
+        self.trace = trace
+        self.pricing = pricing or PricingModel()
+        self.engine_config = engine_config or EngineConfig()
+
+    def evaluate(
+        self,
+        lambda_min: float,
+        lambda_max: float,
+        c_empty: float,
+        c_fill: float,
+    ) -> CandidateResult:
+        """Run one candidate configuration and account it."""
+        engine = DatacenterSimulation(
+            cluster=self.cluster,
+            policy=ScoreBasedPolicy(
+                ScoreConfig.sb(c_empty=c_empty, c_fill=c_fill)
+            ),
+            trace=self.trace.fresh(),
+            pm_config=PowerManagerConfig(
+                lambda_min=lambda_min, lambda_max=lambda_max
+            ),
+            config=self.engine_config,
+        )
+        result = engine.run()
+        statement = assess(engine, self.pricing)
+        return CandidateResult(
+            lambda_min=lambda_min,
+            lambda_max=lambda_max,
+            c_empty=c_empty,
+            c_fill=c_fill,
+            statement=statement,
+            satisfaction=result.satisfaction,
+        )
+
+    def search(
+        self,
+        lambda_mins: Sequence[float] = (0.30, 0.50, 0.70),
+        lambda_maxs: Sequence[float] = (0.90,),
+        cost_pairs: Sequence[Tuple[float, float]] = ((0.0, 40.0), (20.0, 40.0), (60.0, 100.0)),
+    ) -> OptimizationOutcome:
+        """Evaluate the grid and return ranked candidates."""
+        candidates: List[CandidateResult] = []
+        for lo in lambda_mins:
+            for hi in lambda_maxs:
+                if lo >= hi:
+                    continue
+                for ce, cf in cost_pairs:
+                    candidates.append(self.evaluate(lo, hi, ce, cf))
+        if not candidates:
+            raise ConfigurationError("empty search grid")
+        return OptimizationOutcome(candidates=tuple(candidates))

@@ -1,0 +1,93 @@
+"""Tariffs: what compute earns and what energy costs.
+
+Revenue follows the SLA contract the paper defines: the client's
+satisfaction S ∈ [0, 100] is exactly the fraction of the agreed price the
+provider collects (a job delivered past twice its deadline earns
+nothing — the client walked away).  Energy is billed per kWh, optionally
+with a day/night time-of-use split, which is what makes *when* the
+datacenter burns power an economic decision, not only how much.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional
+
+from repro.errors import ConfigurationError
+from repro.units import DAY, HOUR
+
+__all__ = ["TimeOfUseTariff", "PricingModel"]
+
+
+@dataclass(frozen=True)
+class TimeOfUseTariff:
+    """Energy price with peak/off-peak windows (local-time hours)."""
+
+    offpeak_eur_per_kwh: float = 0.08
+    peak_eur_per_kwh: float = 0.16
+    peak_start_h: float = 8.0
+    peak_end_h: float = 22.0
+
+    def __post_init__(self) -> None:
+        if self.offpeak_eur_per_kwh < 0 or self.peak_eur_per_kwh < 0:
+            raise ConfigurationError("tariffs must be non-negative")
+        if not 0.0 <= self.peak_start_h < self.peak_end_h <= 24.0:
+            raise ConfigurationError("invalid peak window")
+
+    def price_at(self, t_s: float) -> float:
+        """€/kWh at simulation time ``t_s`` (t=0 is midnight Monday)."""
+        hour = (t_s % DAY) / HOUR
+        if self.peak_start_h <= hour < self.peak_end_h:
+            return self.peak_eur_per_kwh
+        return self.offpeak_eur_per_kwh
+
+    @property
+    def mean_price(self) -> float:
+        """Time-averaged €/kWh over a day."""
+        peak_hours = self.peak_end_h - self.peak_start_h
+        return (
+            self.peak_eur_per_kwh * peak_hours
+            + self.offpeak_eur_per_kwh * (24.0 - peak_hours)
+        ) / 24.0
+
+
+@dataclass(frozen=True)
+class PricingModel:
+    """The provider's full tariff.
+
+    Attributes
+    ----------
+    eur_per_core_hour:
+        Agreed price of one dedicated core-hour at full satisfaction.
+    energy:
+        Electricity tariff; ``None`` means the flat ``flat_eur_per_kwh``.
+    flat_eur_per_kwh:
+        Flat electricity price when no time-of-use tariff is given.
+    """
+
+    eur_per_core_hour: float = 0.05
+    energy: Optional[TimeOfUseTariff] = None
+    flat_eur_per_kwh: float = 0.12
+
+    def __post_init__(self) -> None:
+        if self.eur_per_core_hour < 0 or self.flat_eur_per_kwh < 0:
+            raise ConfigurationError("prices must be non-negative")
+
+    def job_revenue(self, core_hours: float, satisfaction: float) -> float:
+        """Earnings from one job: contract price × satisfaction fraction."""
+        if not 0.0 <= satisfaction <= 100.0:
+            raise ConfigurationError("satisfaction must be in [0, 100]")
+        return core_hours * self.eur_per_core_hour * (satisfaction / 100.0)
+
+    def energy_price_at(self, t_s: float) -> float:
+        """€/kWh at a simulation instant."""
+        if self.energy is not None:
+            return self.energy.price_at(t_s)
+        return self.flat_eur_per_kwh
+
+    @property
+    def mean_energy_price(self) -> float:
+        """Time-averaged €/kWh."""
+        if self.energy is not None:
+            return self.energy.mean_price
+        return self.flat_eur_per_kwh

@@ -1,0 +1,35 @@
+"""The datacenter simulation engine.
+
+Glues every substrate together: the DES kernel drives job arrivals,
+scheduling rounds, VM operations, machine lifecycle and (optionally)
+failures; the engine's actuators apply policy decisions exactly the way
+the paper's real middleware would (creations and migrations take time and
+CPU, machines take time to boot); metrics are integrated exactly between
+events.
+
+Public entry point: :class:`repro.engine.datacenter.DatacenterSimulation`
+(or the :func:`repro.engine.datacenter.simulate` convenience wrapper).
+"""
+
+from repro.engine.config import EngineConfig
+from repro.engine.datacenter import DatacenterSimulation, simulate
+from repro.engine.results import SimulationResult, results_table
+from repro.engine.metrics import MetricsCollector
+from repro.engine.tracing import EventTrace, TraceEventKind, TraceRecord
+from repro.engine.jobstats import JobRecord, job_records, summarize_jobs, write_csv
+
+__all__ = [
+    "EngineConfig",
+    "DatacenterSimulation",
+    "simulate",
+    "SimulationResult",
+    "results_table",
+    "MetricsCollector",
+    "EventTrace",
+    "TraceEventKind",
+    "TraceRecord",
+    "JobRecord",
+    "job_records",
+    "summarize_jobs",
+    "write_csv",
+]

@@ -1,0 +1,205 @@
+"""Actuators: applying scheduling actions to the simulated datacenter.
+
+The paper's actuators (§III-C) perform VM creation, migration, recovery
+and machine power changes.  :class:`ActuatorsMixin` implements them
+against the engine state; every action is **validated** before being
+applied — policies are untrusted decision functions, and an inapplicable
+action (e.g. two Random placements whose memory jointly exceeds a host)
+is counted and dropped, leaving the VM queued for the next round.
+
+Durations are stochastic where the paper measured variability: creation
+times are N(µ = C_c(class), σ = 2.5) as observed on the authors' testbed
+(§IV); migrations get the same treatment.  Both are truncated at one
+second — an operation cannot take negative time.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from repro.cluster.host import Host, HostState, Operation, OperationKind
+from repro.cluster.vm import Vm, VmState
+from repro.engine.tracing import TraceEventKind
+from repro.scheduling.actions import Action, Migrate, Place, TurnOff, TurnOn
+from repro.workload.job import JobState
+
+__all__ = ["ActuatorsMixin"]
+
+
+class ActuatorsMixin:
+    """Action application methods of the datacenter engine.
+
+    Mixed into :class:`~repro.engine.datacenter.DatacenterSimulation`;
+    relies on its attributes (``sim``, ``hosts_by_id``, ``vms``,
+    ``metrics``, ``_dirty``, rng streams and event handlers).
+    """
+
+    # ------------------------------------------------------------- dispatch
+
+    def apply_action(self, action: Action) -> bool:
+        """Validate and apply one action; returns True when applied."""
+        if isinstance(action, Place):
+            ok = self._act_place(action)
+        elif isinstance(action, Migrate):
+            ok = self._act_migrate(action)
+        elif isinstance(action, TurnOn):
+            ok = self._act_turn_on(action)
+        elif isinstance(action, TurnOff):
+            ok = self._act_turn_off(action)
+        else:  # pragma: no cover - defensive
+            ok = False
+        if not ok:
+            self.metrics.counters.incr("rejected_actions")
+            self.emit(TraceEventKind.ACTION_REJECTED, detail=repr(action))
+        return ok
+
+    # ------------------------------------------------------------ placement
+
+    def _act_place(self, action: Place) -> bool:
+        vm: Optional[Vm] = self.vms.get(action.vm_id)
+        host: Optional[Host] = self.hosts_by_id.get(action.host_id)
+        if vm is None or host is None:
+            return False
+        if vm.state is not VmState.QUEUED:
+            return False
+        if not host.is_on:
+            return False
+        if not host.meets_requirements(vm.job):
+            return False
+        # Memory is a hard constraint for every policy; CPU may be
+        # overcommitted (the credit scheduler absorbs it).  Whole-node
+        # (exclusive) reservations admit no co-tenants in either direction.
+        if vm.exclusive and host.n_vms > 0:
+            return False
+        if host.has_exclusive():
+            return False
+        if host.mem_reserved(vm.mem_req) > host.spec.mem_mb + 1e-9:
+            return False
+
+        duration = self._sample_duration(
+            host.spec.creation_s, self.config.creation_sigma_s, "ops.creation"
+        )
+        vm.state = VmState.CREATING
+        vm.job.state = JobState.CREATING
+        if vm.job.start_time is None:
+            vm.job.start_time = self.sim.now
+        host.add_vm(vm)
+        host.begin_operation(
+            Operation(
+                kind=OperationKind.CREATE,
+                vm_id=vm.vm_id,
+                cpu_overhead=host.spec.creation_cpu_pct,
+                started_at=self.sim.now,
+                duration=duration,
+            )
+        )
+        self.queue_remove(vm)
+        self.metrics.counters.incr("creations")
+        self.emit(
+            TraceEventKind.PLACEMENT,
+            vm_id=vm.vm_id,
+            host_id=host.host_id,
+            detail=f"creation {duration:.0f}s",
+        )
+        self._dirty.add(host.host_id)
+        self.sim.schedule(
+            duration,
+            lambda v=vm, h=host: self._on_creation_done(v, h),
+            label=f"create:{vm.vm_id}",
+        )
+        return True
+
+    # ------------------------------------------------------------ migration
+
+    def _act_migrate(self, action: Migrate) -> bool:
+        vm: Optional[Vm] = self.vms.get(action.vm_id)
+        dst: Optional[Host] = self.hosts_by_id.get(action.dst_host_id)
+        if vm is None or dst is None:
+            return False
+        if vm.state is not VmState.RUNNING or vm.host_id is None:
+            return False
+        if vm.host_id == dst.host_id:
+            return False
+        if not dst.is_on:
+            return False
+        if not dst.meets_requirements(vm.job):
+            return False
+        if not dst.fits(vm):
+            return False
+        src = self.hosts_by_id[vm.host_id]
+
+        duration = self._sample_duration(
+            dst.spec.migration_s, self.config.migration_sigma_s, "ops.migration"
+        )
+        vm.state = VmState.MIGRATING
+        vm.migration_src = src.host_id
+        vm.migration_dst = dst.host_id
+        dst.reserve(vm)
+        src.begin_operation(
+            Operation(
+                kind=OperationKind.MIGRATE_OUT,
+                vm_id=vm.vm_id,
+                cpu_overhead=src.spec.migration_cpu_pct,
+                started_at=self.sim.now,
+                duration=duration,
+            )
+        )
+        dst.begin_operation(
+            Operation(
+                kind=OperationKind.MIGRATE_IN,
+                vm_id=vm.vm_id,
+                cpu_overhead=dst.spec.migration_cpu_pct,
+                started_at=self.sim.now,
+                duration=duration,
+            )
+        )
+        self.emit(
+            TraceEventKind.MIGRATION_START,
+            vm_id=vm.vm_id,
+            host_id=dst.host_id,
+            detail=f"from host {src.host_id}, {duration:.0f}s",
+        )
+        self._dirty.add(src.host_id)
+        self._dirty.add(dst.host_id)
+        self.sim.schedule(
+            duration,
+            lambda v=vm, s=src, d=dst: self._on_migration_done(v, s, d),
+            label=f"migrate:{vm.vm_id}",
+        )
+        return True
+
+    # ------------------------------------------------------------- lifecycle
+
+    def _act_turn_on(self, action: TurnOn) -> bool:
+        host: Optional[Host] = self.hosts_by_id.get(action.host_id)
+        if host is None or host.state is not HostState.OFF:
+            return False
+        host.state = HostState.BOOTING
+        self._dirty.add(host.host_id)
+        self.metrics.counters.incr("boots")
+        self.emit(TraceEventKind.BOOT_START, host_id=host.host_id)
+        self.sim.schedule(
+            host.spec.boot_s,
+            lambda h=host: self._on_boot_done(h),
+            label=f"boot:{host.host_id}",
+        )
+        return True
+
+    def _act_turn_off(self, action: TurnOff) -> bool:
+        host: Optional[Host] = self.hosts_by_id.get(action.host_id)
+        if host is None or not host.is_idle:
+            return False
+        host.state = HostState.OFF
+        self._dirty.add(host.host_id)
+        self.metrics.counters.incr("shutdowns")
+        self.emit(TraceEventKind.SHUTDOWN, host_id=host.host_id)
+        return True
+
+    # -------------------------------------------------------------- helpers
+
+    def _sample_duration(self, mean_s: float, sigma_s: float, stream: str) -> float:
+        """Sample an operation duration, truncated at one second."""
+        if sigma_s <= 0:
+            return max(mean_s, 1.0)
+        rng = self.streams.get(stream)
+        return max(float(rng.normal(mean_s, sigma_s)), 1.0)

@@ -1,0 +1,643 @@
+"""The datacenter simulation engine.
+
+:class:`DatacenterSimulation` orchestrates one run: a workload trace
+arrives at a cluster, a scheduling policy (plus the λ power manager)
+decides placements/migrations/power changes, and every quantity the paper
+reports is integrated exactly between events.
+
+Event vocabulary (matching the paper's "scheduling round is started when a
+new VM enters the system, finishes its execution, a violation in its SLA
+is detected, or the reliability of a node changes"):
+
+* **job arrival** → queue the VM, trigger a round;
+* **scheduling round** (coalesced per timestamp) → policy decisions,
+  actuator application, power-manager control, share/power refresh;
+* **creation done / migration done / boot done** → residency changes,
+  refresh, and a follow-up round when work is waiting;
+* **job completion** → analytically scheduled from the VM's share, always
+  re-derived when shares change;
+* **host failure / repair** (optional) → re-queue lost VMs (restoring the
+  latest checkpoint when available), clean up cross-host operations;
+* **SLA tick** (optional) → dynamic requirement inflation and a round.
+
+Progress accounting is exact: a VM's work integral advances at its current
+share, shares only change inside events, and every event first calls
+:meth:`DatacenterSimulation._touch` to bring all integrals up to *now*.
+"""
+
+from __future__ import annotations
+
+import math
+import time as _time
+from typing import Dict, List, Optional, Sequence, Set
+
+from repro.cluster.checkpoint import CheckpointStore
+from repro.cluster.failures import FailureProcess
+from repro.cluster.host import Host, HostState, Operation, OperationKind
+from repro.cluster.spec import ClusterSpec
+from repro.cluster.vm import Vm, VmState
+from repro.des.random import RandomStreams
+from repro.des.simulator import Simulator
+from repro.engine.actuators import ActuatorsMixin
+from repro.engine.config import EngineConfig
+from repro.engine.metrics import MetricsCollector
+from repro.engine.results import SimulationResult
+from repro.engine.tracing import EventTrace, TraceEventKind
+from repro.errors import ConfigurationError
+from repro.scheduling.base import SchedulingContext, SchedulingPolicy
+from repro.scheduling.power_manager import PowerManager, PowerManagerConfig
+from repro.sla.monitor import SlaMonitor
+from repro.sla.satisfaction import aggregate
+from repro.workload.job import JobState
+from repro.workload.trace import Trace
+
+__all__ = ["DatacenterSimulation", "simulate"]
+
+#: Absolute work tolerance (percent-seconds) under which a VM is complete.
+_WORK_EPS = 1e-6
+
+
+class DatacenterSimulation(ActuatorsMixin):
+    """One simulated datacenter run.
+
+    Parameters
+    ----------
+    cluster:
+        Host inventory.
+    policy:
+        The scheduling policy under test.
+    trace:
+        Workload; consumed fresh (caller should pass ``trace.fresh()`` when
+        reusing a trace across runs — :func:`simulate` does).
+    pm_config:
+        λmin/λmax thresholds of the power manager.
+    config:
+        Engine knobs (seed, jitter, failures, ...).
+    power_manager:
+        A pre-built controller instance (e.g.
+        :class:`~repro.scheduling.adaptive.AdaptivePowerManager`);
+        overrides ``pm_config`` when given.
+    """
+
+    def __init__(
+        self,
+        cluster: ClusterSpec,
+        policy: SchedulingPolicy,
+        trace: Trace,
+        pm_config: Optional[PowerManagerConfig] = None,
+        config: Optional[EngineConfig] = None,
+        power_manager: Optional[PowerManager] = None,
+    ) -> None:
+        self.cluster = cluster
+        self.policy = policy
+        self.trace = trace
+        self.config = config or EngineConfig()
+        self.power_manager = power_manager or PowerManager(
+            pm_config or PowerManagerConfig()
+        )
+        self.streams = RandomStreams(seed=self.config.seed)
+        self.sim = Simulator()
+
+        self.hosts: List[Host] = [Host(spec) for spec in cluster]
+        self.hosts_by_id: Dict[int, Host] = {h.host_id: h for h in self.hosts}
+
+        # Warm start: the first `initial_on` hosts by boot preference are on.
+        warm = sorted(self.hosts, key=PowerManager._boot_preference)
+        for h in warm[: self.config.initial_on]:
+            h.state = HostState.ON
+
+        self.vms: Dict[int, Vm] = {}
+        self.queue: List[Vm] = []
+        self._completion_handles: Dict[int, object] = {}
+        self._dirty: Set[int] = set()
+        self._round_pending = False
+        self._active_jobs = 0
+        self._arrivals_pending = 0
+
+        self.metrics = MetricsCollector(
+            self.hosts, record_power_series=self.config.record_power_series
+        )
+        self.trace_log: Optional[EventTrace] = (
+            EventTrace(self.config.trace_capacity)
+            if self.config.trace_events
+            else None
+        )
+
+        self.sla_monitor: Optional[SlaMonitor] = None
+        if getattr(self.policy, "config", None) is not None and getattr(
+            self.policy.config, "enable_sla", False
+        ):
+            self.sla_monitor = SlaMonitor()
+
+        self.checkpoints = CheckpointStore(self.config.checkpoint_interval_s)
+        self._failure_processes: Dict[int, FailureProcess] = {}
+        if self.config.enable_failures:
+            for h in self.hosts:
+                if h.spec.reliability < 1.0:
+                    self._failure_processes[h.host_id] = FailureProcess(
+                        reliability=h.spec.reliability,
+                        mttr_s=self.config.mttr_s,
+                        rng=self.streams.child("failures", h.host_id),
+                    )
+
+        self._result: Optional[SimulationResult] = None
+        self._started = False
+        self._horizon = 0.0
+
+    # ------------------------------------------------------------------ run
+
+    def start(self) -> float:
+        """Arm the simulation: arrivals, ticks, failures, first round.
+
+        Returns the drain horizon.  :meth:`run` calls this once; tests
+        that need to drive the event loop manually call it themselves and
+        then use ``self.sim.run(until=...)`` directly.
+        """
+        if self._started:
+            return self._horizon
+        if len(self.trace) == 0:
+            raise ConfigurationError("cannot simulate an empty trace")
+        last_arrival = 0.0
+        for job in self.trace:
+            self._arrivals_pending += 1
+            self._active_jobs += 1
+            last_arrival = max(last_arrival, job.submit_time)
+            self.sim.at(
+                job.submit_time,
+                lambda j=job: self._on_job_arrival(j),
+                label=f"arrival:{job.job_id}",
+            )
+
+        if self.checkpoints.enabled:
+            self.sim.schedule(
+                self.checkpoints.interval_s, self._checkpoint_tick, label="ckpt"
+            )
+        if self.sla_monitor is not None:
+            self.sim.schedule(
+                self.config.sla_check_interval_s, self._sla_tick, label="sla"
+            )
+        for hid in self._failure_processes:
+            self._schedule_failure(self.hosts_by_id[hid])
+
+        self.trigger_round()
+        self._started = True
+        self._horizon = last_arrival + self.config.drain_grace_s
+        return self._horizon
+
+    def run(self) -> SimulationResult:
+        """Execute the whole workload and return the result row."""
+        if self._result is not None:
+            return self._result
+        wall_start = _time.perf_counter()
+        horizon = self.start()
+        self.sim.run(until=horizon)
+
+        self.metrics.close(self.sim.now)
+        self._result = self._build_result(wall_start)
+        return self._result
+
+    # --------------------------------------------------------------- rounds
+
+    def trigger_round(self) -> None:
+        """Request a scheduling round; coalesced per timestamp."""
+        if not self._round_pending:
+            self._round_pending = True
+            self.sim.schedule(0.0, self._round, priority=100, label="round")
+
+    def _context(self) -> SchedulingContext:
+        placed = tuple(vm for vm in self.vms.values() if vm.is_placed)
+        return SchedulingContext(
+            now=self.sim.now,
+            hosts=self.hosts,
+            queued=tuple(self.queue),
+            placed=placed,
+        )
+
+    def _round(self) -> None:
+        self._round_pending = False
+        self._touch()
+
+        if self.sla_monitor is not None:
+            running = [vm for vm in self.vms.values() if vm.is_placed]
+            violated = self.sla_monitor.check(running, self.sim.now)
+            for vm in violated:
+                self.metrics.counters.incr("sla_inflations")
+                self.emit(
+                    TraceEventKind.SLA_INFLATION,
+                    vm_id=vm.vm_id,
+                    host_id=vm.host_id,
+                    detail=f"cpu_req={vm.cpu_req:.0f}%",
+                )
+
+        ctx = self._context()
+        for action in self.policy.decide(ctx):
+            self.apply_action(action)
+        # Power-manager control sees the post-placement state (the same
+        # live host objects), so boots respond to this round's decisions.
+        for action in self.power_manager.control(ctx, self.policy):
+            self.apply_action(action)
+        self._refresh()
+
+    # --------------------------------------------------------------- events
+
+    def _on_job_arrival(self, job) -> None:
+        self._touch()
+        self._arrivals_pending -= 1
+        vm = Vm(job)
+        vm.last_progress_t = self.sim.now
+        self.vms[vm.vm_id] = vm
+        if not any(h.meets_requirements(job) for h in self.hosts):
+            # No machine in the datacenter can ever host this job.
+            vm.state = VmState.FAILED
+            job.state = JobState.FAILED
+            self.metrics.counters.incr("unplaceable")
+            self._job_finished()
+            return
+        self.queue.append(vm)
+        self.emit(TraceEventKind.JOB_ARRIVAL, vm_id=vm.vm_id)
+        self.trigger_round()
+
+    def _on_creation_done(self, vm: Vm, host: Host) -> None:
+        if vm.state is not VmState.CREATING or vm.host_id != host.host_id:
+            return  # superseded by a failure
+        self._touch()
+        host.end_operation(OperationKind.CREATE, vm.vm_id)
+        vm.state = VmState.RUNNING
+        vm.job.state = JobState.RUNNING
+        vm.creations += 1
+        vm.last_progress_t = self.sim.now
+        self.emit(TraceEventKind.CREATION_DONE, vm_id=vm.vm_id, host_id=host.host_id)
+        self._dirty.add(host.host_id)
+        self._refresh()
+        if self.queue:
+            self.trigger_round()
+
+    def _on_migration_done(self, vm: Vm, src: Host, dst: Host) -> None:
+        if vm.state is not VmState.MIGRATING or vm.migration_dst != dst.host_id:
+            return  # aborted by a failure
+        self._touch()
+        src.remove_vm(vm.vm_id)
+        src.end_operation(OperationKind.MIGRATE_OUT, vm.vm_id)
+        dst.end_operation(OperationKind.MIGRATE_IN, vm.vm_id)
+        dst.release_reservation(vm.vm_id)
+        vm.migration_src = None
+        vm.migration_dst = None
+        dst.add_vm(vm)
+        vm.state = VmState.RUNNING
+        vm.migrations += 1
+        self.metrics.counters.incr("migrations")
+        self.emit(
+            TraceEventKind.MIGRATION_DONE,
+            vm_id=vm.vm_id,
+            host_id=dst.host_id,
+            detail=f"from host {src.host_id}",
+        )
+        self._dirty.add(src.host_id)
+        self._dirty.add(dst.host_id)
+        if vm.work_remaining <= _WORK_EPS:
+            self._complete_vm(vm, dst)
+        self._refresh()
+        self.trigger_round()
+
+    def _on_completion(self, vm: Vm) -> None:
+        if vm.state is not VmState.RUNNING or vm.host_id is None:
+            return
+        self._touch()
+        if vm.work_remaining <= _WORK_EPS:
+            self._complete_vm(vm, self.hosts_by_id[vm.host_id])
+            self._refresh()
+            self.trigger_round()
+        else:
+            self._reschedule_completion(vm)
+
+    def _on_boot_done(self, host: Host) -> None:
+        if host.state is not HostState.BOOTING:
+            return
+        self._touch()
+        host.state = HostState.ON
+        self.emit(TraceEventKind.BOOT_DONE, host_id=host.host_id)
+        self._dirty.add(host.host_id)
+        self._refresh()
+        self.trigger_round()
+
+    # -------------------------------------------------------------- failure
+
+    def _schedule_failure(self, host: Host) -> None:
+        process = self._failure_processes.get(host.host_id)
+        if process is None or process.never_fails:
+            return
+        uptime = process.next_uptime()
+        if not math.isfinite(uptime):
+            return  # effectively never fails (again)
+        self.sim.schedule(
+            uptime, lambda h=host: self._on_host_failure(h), label=f"fail:{host.host_id}"
+        )
+
+    def _on_host_failure(self, host: Host) -> None:
+        process = self._failure_processes[host.host_id]
+        if host.state is not HostState.ON:
+            # The failure clock only bites running machines; re-arm.
+            self._schedule_failure(host)
+            return
+        self._touch()
+        self.metrics.counters.incr("host_failures")
+        self.emit(
+            TraceEventKind.HOST_FAILURE,
+            host_id=host.host_id,
+            detail=f"{len(host.vms)} vms lost",
+        )
+
+        # Clean up cross-host operation legs first.
+        for op in list(host.operations):
+            other_vm = self.vms.get(op.vm_id)
+            if op.kind is OperationKind.MIGRATE_IN and other_vm is not None:
+                # VM was coming here; it stays (running) on its source.
+                src_id = other_vm.migration_src
+                if src_id is not None and src_id in self.hosts_by_id:
+                    src = self.hosts_by_id[src_id]
+                    try:
+                        src.end_operation(OperationKind.MIGRATE_OUT, op.vm_id)
+                    except Exception:  # pragma: no cover - defensive
+                        pass
+                    self._dirty.add(src_id)
+                other_vm.state = VmState.RUNNING
+                other_vm.migration_src = None
+                other_vm.migration_dst = None
+            elif op.kind is OperationKind.MIGRATE_OUT and other_vm is not None:
+                dst_id = other_vm.migration_dst
+                if dst_id is not None and dst_id in self.hosts_by_id:
+                    dst = self.hosts_by_id[dst_id]
+                    try:
+                        dst.end_operation(OperationKind.MIGRATE_IN, op.vm_id)
+                    except Exception:  # pragma: no cover - defensive
+                        pass
+                    dst.release_reservation(op.vm_id)
+                    self._dirty.add(dst_id)
+
+        # Re-queue every resident VM, restoring checkpointed progress.
+        for vm in list(host.vms.values()):
+            self._cancel_completion(vm)
+            snapshot = self.checkpoints.latest(vm.vm_id)
+            if snapshot is not None:
+                vm.work_done = min(snapshot.work_done, vm.work_total)
+                self.metrics.counters.incr("checkpoint_recoveries")
+            else:
+                vm.work_done = 0.0
+            vm.state = VmState.QUEUED
+            vm.job.state = JobState.PENDING
+            vm.host_id = None
+            vm.migration_src = None
+            vm.migration_dst = None
+            vm.share = 0.0
+            vm.last_progress_t = self.sim.now
+            self.queue.append(vm)
+
+        host.vms.clear()
+        host.reservations.clear()
+        host.operations.clear()
+        host.state = HostState.FAILED
+        self._dirty.add(host.host_id)
+        self._refresh()
+
+        downtime = process.next_downtime()
+        self.sim.schedule(
+            downtime, lambda h=host: self._on_host_repair(h), label=f"repair:{host.host_id}"
+        )
+        self.trigger_round()
+
+    def _on_host_repair(self, host: Host) -> None:
+        if host.state is not HostState.FAILED:
+            return
+        self._touch()
+        host.state = HostState.OFF
+        self.emit(TraceEventKind.HOST_REPAIR, host_id=host.host_id)
+        self._dirty.add(host.host_id)
+        self._refresh()
+        self._schedule_failure(host)
+        self.trigger_round()
+
+    # ---------------------------------------------------------------- ticks
+
+    def _checkpoint_tick(self) -> None:
+        if self._active_jobs == 0 and self._arrivals_pending == 0:
+            return
+        self._touch()
+        hosts_snapshotting = set()
+        for vm in self.vms.values():
+            if vm.state in (VmState.RUNNING, VmState.MIGRATING):
+                self.checkpoints.record(vm.vm_id, self.sim.now, vm.work_done)
+                if vm.host_id is not None:
+                    hosts_snapshotting.add(vm.host_id)
+        # Optional checkpoint CPU cost (0 by default — the paper's
+        # modelling decision; ext_checkpoint_cost verifies it is safe).
+        if self.config.checkpoint_cpu_pct > 0:
+            for hid in sorted(hosts_snapshotting):
+                host = self.hosts_by_id[hid]
+                op = Operation(
+                    kind=OperationKind.CHECKPOINT,
+                    vm_id=-1,
+                    cpu_overhead=self.config.checkpoint_cpu_pct,
+                    started_at=self.sim.now,
+                    duration=self.config.checkpoint_duration_s,
+                )
+                host.begin_operation(op)
+                self._dirty.add(hid)
+                self.sim.schedule(
+                    self.config.checkpoint_duration_s,
+                    lambda h=host: self._on_checkpoint_done(h),
+                    label=f"ckpt-cost:{hid}",
+                )
+            self._refresh()
+        self.sim.schedule(self.checkpoints.interval_s, self._checkpoint_tick, label="ckpt")
+
+    def _on_checkpoint_done(self, host: Host) -> None:
+        if host.state is not HostState.ON:
+            return  # cleared by a failure
+        self._touch()
+        try:
+            host.end_operation(OperationKind.CHECKPOINT, -1)
+        except Exception:  # pragma: no cover - cleared by failure handling
+            return
+        self._dirty.add(host.host_id)
+        self._refresh()
+
+    def _sla_tick(self) -> None:
+        if self._active_jobs == 0 and self._arrivals_pending == 0:
+            return
+        self._touch()
+        running = [vm for vm in self.vms.values() if vm.is_placed]
+        violated = self.sla_monitor.check(running, self.sim.now)
+        if violated:
+            for vm in violated:
+                self.metrics.counters.incr("sla_inflations")
+                self.emit(
+                    TraceEventKind.SLA_INFLATION,
+                    vm_id=vm.vm_id,
+                    host_id=vm.host_id,
+                    detail=f"cpu_req={vm.cpu_req:.0f}%",
+                )
+            self.trigger_round()
+        self.sim.schedule(self.config.sla_check_interval_s, self._sla_tick, label="sla")
+
+    # -------------------------------------------------------------- helpers
+
+    def emit(
+        self,
+        kind: TraceEventKind,
+        vm_id: Optional[int] = None,
+        host_id: Optional[int] = None,
+        detail: str = "",
+    ) -> None:
+        """Append a structured trace record (no-op unless tracing is on)."""
+        if self.trace_log is not None:
+            self.trace_log.emit(self.sim.now, kind, vm_id, host_id, detail)
+
+    def queue_remove(self, vm: Vm) -> None:
+        """Remove a VM from the waiting queue (after successful placement)."""
+        try:
+            self.queue.remove(vm)
+        except ValueError:  # pragma: no cover - defensive
+            pass
+
+    def _touch(self) -> None:
+        """Advance every placed VM's work integral to the current instant."""
+        now = self.sim.now
+        for host in self.hosts:
+            if not host.vms:
+                continue
+            for vm in host.vms.values():
+                vm.advance(now)
+
+    def _complete_vm(self, vm: Vm, host: Host) -> None:
+        vm.state = VmState.COMPLETED
+        vm.job.state = JobState.COMPLETED
+        vm.job.finish_time = self.sim.now
+        host.remove_vm(vm.vm_id)
+        self._cancel_completion(vm)
+        self.checkpoints.forget(vm.vm_id)
+        self.metrics.counters.incr("completions")
+        self.emit(
+            TraceEventKind.COMPLETION,
+            vm_id=vm.vm_id,
+            host_id=host.host_id,
+            detail=f"S={vm.job.satisfaction():.0f}%",
+        )
+        self._dirty.add(host.host_id)
+        self._job_finished()
+
+    def _job_finished(self) -> None:
+        self._active_jobs -= 1
+        if self._active_jobs == 0 and self._arrivals_pending == 0:
+            # Last job done: freeze the world here rather than simulating
+            # an empty datacenter to the horizon.
+            self.sim.stop()
+
+    def _cancel_completion(self, vm: Vm) -> None:
+        handle = self._completion_handles.pop(vm.vm_id, None)
+        if handle is not None:
+            handle.cancel()
+
+    def _reschedule_completion(self, vm: Vm) -> None:
+        self._cancel_completion(vm)
+        if vm.state is not VmState.RUNNING or vm.share <= 0:
+            return
+        eta = vm.eta(self.sim.now)
+        self._completion_handles[vm.vm_id] = self.sim.at(
+            max(eta, self.sim.now),
+            lambda v=vm: self._on_completion(v),
+            label=f"complete:{vm.vm_id}",
+        )
+
+    def _refresh(self) -> None:
+        """Recompute shares/power on dirty hosts; refresh node metrics."""
+        now = self.sim.now
+        for hid in sorted(self._dirty):
+            host = self.hosts_by_id[hid]
+            host.recompute_shares()
+            self.metrics.refresh_power(now, host)
+            for vm in host.vms.values():
+                if vm.state is VmState.RUNNING:
+                    self._reschedule_completion(vm)
+                elif vm.state is VmState.MIGRATING:
+                    # Completion is checked at migration end; no event now.
+                    self._cancel_completion(vm)
+        self._dirty.clear()
+        self.metrics.refresh(now)
+
+    # --------------------------------------------------------------- result
+
+    def _build_result(self, wall_start: float) -> SimulationResult:
+        jobs = [vm.job for vm in self.vms.values()]
+        # Jobs whose arrival event never fired (horizon overrun) count too.
+        seen = {vm.vm_id for vm in self.vms.values()}
+        jobs.extend(j for j in self.trace if j.job_id not in seen)
+        sat, delay = aggregate(jobs)
+        waits = [
+            j.start_time - j.submit_time
+            for j in jobs
+            if j.start_time is not None
+        ]
+        if waits:
+            import numpy as _np
+
+            mean_wait = float(_np.mean(waits))
+            p95_wait = float(_np.percentile(waits, 95))
+        else:
+            mean_wait = p95_wait = 0.0
+        counters = self.metrics.counters
+        n_completed = sum(1 for j in jobs if j.state is JobState.COMPLETED)
+        n_failed = sum(1 for j in jobs if j.state is JobState.FAILED)
+        return SimulationResult(
+            policy=self.policy.name,
+            lambda_min=self.power_manager.config.lambda_min,
+            lambda_max=self.power_manager.config.lambda_max,
+            avg_working=self.metrics.avg_working,
+            avg_online=self.metrics.avg_online,
+            cpu_hours=self.metrics.cpu_hours,
+            energy_kwh=self.metrics.energy_kwh,
+            satisfaction=sat,
+            delay_pct=delay,
+            migrations=counters["migrations"],
+            n_jobs=len(jobs),
+            n_completed=n_completed,
+            n_failed=n_failed,
+            mean_wait_s=mean_wait,
+            p95_wait_s=p95_wait,
+            creations=counters["creations"],
+            rejected_actions=counters["rejected_actions"],
+            sla_violations=counters["sla_inflations"],
+            host_failures=counters["host_failures"],
+            checkpoint_recoveries=counters["checkpoint_recoveries"],
+            sim_events=self.sim.events_processed,
+            horizon_s=self.sim.now,
+            wall_clock_s=_time.perf_counter() - wall_start,
+        )
+
+
+def simulate(
+    cluster: ClusterSpec,
+    policy: SchedulingPolicy,
+    trace: Trace,
+    pm_config: Optional[PowerManagerConfig] = None,
+    config: Optional[EngineConfig] = None,
+) -> SimulationResult:
+    """Convenience wrapper: run one simulation on a fresh copy of the trace.
+
+    Examples
+    --------
+    >>> from repro.cluster import ClusterSpec
+    >>> from repro.scheduling import BackfillingPolicy
+    >>> from repro.workload import Grid5000WeekGenerator, SyntheticConfig
+    >>> trace = Grid5000WeekGenerator(SyntheticConfig(horizon_s=3600.0), seed=7).generate()
+    >>> result = simulate(ClusterSpec.homogeneous(8), BackfillingPolicy(), trace)
+    >>> result.n_jobs == len(trace)
+    True
+    """
+    engine = DatacenterSimulation(
+        cluster=cluster,
+        policy=policy,
+        trace=trace.fresh(),
+        pm_config=pm_config,
+        config=config,
+    )
+    return engine.run()

@@ -1,0 +1,106 @@
+"""Run results and table formatting.
+
+:class:`SimulationResult` carries everything a paper table row needs plus
+diagnostic extras; :func:`results_table` renders a list of results in the
+paper's column layout so EXPERIMENTS.md can be regenerated mechanically.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence
+
+__all__ = ["SimulationResult", "results_table"]
+
+
+@dataclass(frozen=True)
+class SimulationResult:
+    """Outcome of one datacenter run.
+
+    The first block mirrors the paper's table columns; the second carries
+    diagnostics used by tests and the experiment write-ups.
+    """
+
+    policy: str
+    lambda_min: float
+    lambda_max: float
+    avg_working: float
+    avg_online: float
+    cpu_hours: float
+    energy_kwh: float
+    satisfaction: float
+    delay_pct: float
+    migrations: int
+
+    # Diagnostics.
+    n_jobs: int = 0
+    n_completed: int = 0
+    n_failed: int = 0
+    #: Queue-wait statistics (submission -> first placement), seconds.
+    #: Decomposes the delay column: a job is late either because it
+    #: *waited* (no capacity / booting machines) or because it *ran slow*
+    #: (operation contention, overcommitment).
+    mean_wait_s: float = 0.0
+    p95_wait_s: float = 0.0
+    creations: int = 0
+    rejected_actions: int = 0
+    sla_violations: int = 0
+    host_failures: int = 0
+    checkpoint_recoveries: int = 0
+    sim_events: int = 0
+    horizon_s: float = 0.0
+    wall_clock_s: float = 0.0
+    extra: Dict[str, float] = field(default_factory=dict)
+
+    @property
+    def completion_rate(self) -> float:
+        """Fraction of submitted jobs that completed."""
+        return self.n_completed / self.n_jobs if self.n_jobs else 1.0
+
+    @property
+    def lambdas(self) -> str:
+        """The λ column as the paper prints it (e.g. ``30-90``)."""
+        return f"{self.lambda_min * 100:.0f}-{self.lambda_max * 100:.0f}"
+
+    def row(self) -> Dict[str, str]:
+        """Formatted cells in the paper's column layout."""
+        return {
+            "Policy": self.policy,
+            "λ": self.lambdas,
+            "Work/ON": f"{self.avg_working:.1f} / {self.avg_online:.1f}",
+            "CPU (h)": f"{self.cpu_hours:.1f}",
+            "Pwr (kWh)": f"{self.energy_kwh:.1f}",
+            "S (%)": f"{self.satisfaction:.1f}",
+            "delay (%)": f"{self.delay_pct:.1f}",
+            "Mig": str(self.migrations),
+        }
+
+
+def results_table(
+    results: Sequence[SimulationResult],
+    *,
+    columns: Optional[List[str]] = None,
+    title: Optional[str] = None,
+) -> str:
+    """Render results as a fixed-width text table (paper layout).
+
+    Examples
+    --------
+    >>> r = SimulationResult("BF", 0.3, 0.9, 10.1, 22.2, 6055.3, 1007.3,
+    ...                      98.0, 10.4, 0)
+    >>> print(results_table([r]).splitlines()[1].split()[0])
+    Policy
+    """
+    if columns is None:
+        columns = ["Policy", "λ", "Work/ON", "CPU (h)", "Pwr (kWh)", "S (%)", "delay (%)", "Mig"]
+    rows = [r.row() for r in results]
+    widths = {c: max(len(c), *(len(row[c]) for row in rows)) if rows else len(c) for c in columns}
+    lines: List[str] = []
+    if title:
+        lines.append(title)
+    header = "  ".join(c.ljust(widths[c]) for c in columns)
+    lines.append(header)
+    lines.append("-" * len(header))
+    for row in rows:
+        lines.append("  ".join(row[c].ljust(widths[c]) for c in columns))
+    return "\n".join(lines)

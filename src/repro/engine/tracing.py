@@ -1,0 +1,128 @@
+"""Structured event tracing for simulation runs.
+
+The simulator's observable outputs are aggregates; debugging a policy (or
+writing a paper section) often needs the *story*: which VM went where and
+why it moved.  :class:`EventTrace` is an opt-in, bounded, in-memory log of
+typed records the engine emits at each state change; query helpers slice
+it by VM, host, or kind.
+
+Enable by passing a trace to :class:`~repro.engine.datacenter.DatacenterSimulation`
+via :attr:`EngineConfig.trace_events` — disabled (zero-cost) by default.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+from typing import Dict, Iterable, List, Optional
+
+__all__ = ["TraceEventKind", "TraceRecord", "EventTrace"]
+
+
+class TraceEventKind(enum.Enum):
+    """Kinds of records an engine emits."""
+
+    JOB_ARRIVAL = "job_arrival"
+    PLACEMENT = "placement"
+    CREATION_DONE = "creation_done"
+    MIGRATION_START = "migration_start"
+    MIGRATION_DONE = "migration_done"
+    COMPLETION = "completion"
+    BOOT_START = "boot_start"
+    BOOT_DONE = "boot_done"
+    SHUTDOWN = "shutdown"
+    HOST_FAILURE = "host_failure"
+    HOST_REPAIR = "host_repair"
+    SLA_INFLATION = "sla_inflation"
+    ACTION_REJECTED = "action_rejected"
+
+
+@dataclass(frozen=True)
+class TraceRecord:
+    """One timestamped event."""
+
+    time: float
+    kind: TraceEventKind
+    vm_id: Optional[int] = None
+    host_id: Optional[int] = None
+    detail: str = ""
+
+    def __str__(self) -> str:
+        bits = [f"t={self.time:10.1f}", self.kind.value]
+        if self.vm_id is not None:
+            bits.append(f"vm={self.vm_id}")
+        if self.host_id is not None:
+            bits.append(f"host={self.host_id}")
+        if self.detail:
+            bits.append(self.detail)
+        return "  ".join(bits)
+
+
+class EventTrace:
+    """Bounded in-memory event log.
+
+    Parameters
+    ----------
+    capacity:
+        Maximum records retained; older records are dropped FIFO so a
+        week-long run cannot exhaust memory (the drop count is kept).
+    """
+
+    def __init__(self, capacity: int = 100_000) -> None:
+        self.capacity = int(capacity)
+        self._records: List[TraceRecord] = []
+        self.dropped = 0
+
+    # ---------------------------------------------------------------- write
+
+    def emit(
+        self,
+        time: float,
+        kind: TraceEventKind,
+        vm_id: Optional[int] = None,
+        host_id: Optional[int] = None,
+        detail: str = "",
+    ) -> None:
+        """Append one record (dropping the oldest beyond capacity)."""
+        self._records.append(TraceRecord(time, kind, vm_id, host_id, detail))
+        if len(self._records) > self.capacity:
+            overflow = len(self._records) - self.capacity
+            del self._records[:overflow]
+            self.dropped += overflow
+
+    # ----------------------------------------------------------------- read
+
+    def __len__(self) -> int:
+        return len(self._records)
+
+    def __iter__(self):
+        return iter(self._records)
+
+    @property
+    def records(self) -> List[TraceRecord]:
+        """All retained records, oldest first."""
+        return list(self._records)
+
+    def of_kind(self, kind: TraceEventKind) -> List[TraceRecord]:
+        """Records of one kind."""
+        return [r for r in self._records if r.kind is kind]
+
+    def for_vm(self, vm_id: int) -> List[TraceRecord]:
+        """The life story of one VM."""
+        return [r for r in self._records if r.vm_id == vm_id]
+
+    def for_host(self, host_id: int) -> List[TraceRecord]:
+        """Everything that happened on one host."""
+        return [r for r in self._records if r.host_id == host_id]
+
+    def counts(self) -> Dict[str, int]:
+        """Record counts per kind."""
+        out: Dict[str, int] = {}
+        for r in self._records:
+            out[r.kind.value] = out.get(r.kind.value, 0) + 1
+        return out
+
+    def story(self, vm_id: int) -> str:
+        """Human-readable single-VM narrative."""
+        lines = [str(r) for r in self.for_vm(vm_id)]
+        return "\n".join(lines) if lines else f"(no records for vm {vm_id})"

@@ -1,0 +1,47 @@
+"""Exception hierarchy for the :mod:`repro` package.
+
+Every error raised deliberately by the library derives from
+:class:`ReproError`, so callers can catch the whole family with one
+``except`` clause while still being able to distinguish configuration
+mistakes from runtime scheduling problems.
+"""
+
+from __future__ import annotations
+
+__all__ = [
+    "ReproError",
+    "ConfigurationError",
+    "SimulationError",
+    "SchedulingError",
+    "CapacityError",
+    "StateError",
+    "TraceFormatError",
+]
+
+
+class ReproError(Exception):
+    """Base class for all errors raised by the repro library."""
+
+
+class ConfigurationError(ReproError):
+    """A user-supplied configuration value is invalid or inconsistent."""
+
+
+class SimulationError(ReproError):
+    """The simulation kernel was used incorrectly (e.g. scheduling in the past)."""
+
+
+class SchedulingError(ReproError):
+    """A scheduling policy produced an inapplicable decision."""
+
+
+class CapacityError(SchedulingError):
+    """An action would exceed the capacity of a host."""
+
+
+class StateError(ReproError):
+    """An entity (host, VM, job) was driven through an illegal state transition."""
+
+
+class TraceFormatError(ReproError):
+    """A workload trace file could not be parsed."""

@@ -1,0 +1,32 @@
+"""Experiment harness: one module per table/figure of the paper.
+
+Every experiment module exposes ``run(scale=1.0, seed=DEFAULT_SEED)``
+returning an :class:`~repro.experiments.common.ExperimentOutput` whose
+text block prints the same rows/series the paper reports, next to the
+paper's published numbers.  ``scale`` shrinks the simulated horizon (1.0 =
+the paper's full week) so tests and benchmarks can exercise the identical
+code path quickly.
+
+Use :func:`repro.experiments.registry.get` / ``python -m repro experiment
+<id>`` to run one, or ``all_experiments()`` for the whole evaluation.
+"""
+
+from repro.experiments.common import (
+    DEFAULT_SEED,
+    ExperimentOutput,
+    paper_cluster,
+    paper_trace,
+    run_policy,
+)
+from repro.experiments.registry import all_experiments, get, list_ids
+
+__all__ = [
+    "DEFAULT_SEED",
+    "ExperimentOutput",
+    "paper_cluster",
+    "paper_trace",
+    "run_policy",
+    "all_experiments",
+    "get",
+    "list_ids",
+]

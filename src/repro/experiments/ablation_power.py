@@ -1,0 +1,81 @@
+"""Ablations — where do the energy savings actually come from?
+
+Three runs of the full SB policy on the same workload:
+
+* **no power manager** (every node always on) — the consolidation-only
+  baseline; the gap to the next row is what turning machines off buys,
+  the paper's ">200 W per machine" headline;
+* **Table I hosts** (the paper's energy-proportional-ish machines);
+* **constant-power hosts** — §IV-A's cautionary tale: "machines where
+  the power usage does not change with the load ... should be avoided";
+  with them, only the on/off mechanism saves anything.
+"""
+
+from __future__ import annotations
+
+from dataclasses import replace
+
+from repro.cluster.power import ConstantPowerModel
+from repro.cluster.spec import ClusterSpec
+from repro.engine.results import results_table
+from repro.experiments.common import (
+    DEFAULT_SEED,
+    ExperimentOutput,
+    lambda_config,
+    paper_cluster,
+    paper_trace,
+    run_policy,
+)
+from repro.scheduling.power_manager import PowerManagerConfig
+from repro.scheduling.score import ScoreConfig
+from repro.scheduling.score.policy import ScoreBasedPolicy
+
+__all__ = ["run"]
+
+
+def _constant_cluster() -> ClusterSpec:
+    model = ConstantPowerModel(watts=270.0, capacity=400.0)
+    return ClusterSpec(
+        replace(spec, power_model=model) for spec in paper_cluster()
+    )
+
+
+def run(scale: float = 0.25, seed: int = DEFAULT_SEED) -> ExperimentOutput:
+    """Run the three ablation rows."""
+    trace = paper_trace(scale=scale, seed=seed)
+    # "Always on": λmin=0 is illegal by construction; emulate with a huge
+    # minexec so the controller can never shut anything down.
+    always_on = PowerManagerConfig(
+        lambda_min=0.01, lambda_max=0.99, minexec=100
+    )
+    runs = [
+        ("SB/always-on", paper_cluster(), always_on),
+        ("SB/table-I", paper_cluster(), lambda_config()),
+        ("SB/constant-W", _constant_cluster(), lambda_config()),
+    ]
+    results = []
+    for name, cluster, pm in runs:
+        policy = ScoreBasedPolicy(ScoreConfig.sb(), name=name)
+        results.append(
+            run_policy(policy, trace, cluster=cluster, pm_config=pm, seed=seed)
+        )
+    rows = [
+        {"policy": r.policy, "power_kwh": r.energy_kwh,
+         "satisfaction": r.satisfaction, "avg_online": r.avg_online}
+        for r in results
+    ]
+    on_vs_managed = 100.0 * (1.0 - results[1].energy_kwh / results[0].energy_kwh)
+    text = results_table(results) + (
+        f"\nturning machines off saves {on_vs_managed:.0f} % vs always-on "
+        f"(the paper's '>200 W per idle machine' lever)"
+    )
+    return ExperimentOutput(
+        exp_id="ablation_power",
+        title="Energy-saving levers: on/off mechanism and power model",
+        text=text,
+        rows=rows,
+        paper_reference=(
+            "§III: turning off an idle machine saves >200 W; §IV-A: "
+            "constant-power machines defeat load-proportional savings."
+        ),
+    )

@@ -1,0 +1,85 @@
+"""Ablation — error bars on the headline claim.
+
+The paper's "15 % less power than Backfilling" comes from one simulated
+week.  Here we regenerate K independent weeks (different seeds →
+different arrival sequences, runtimes, jitter) and report the saving as
+mean ± 95 % CI, answering the referee question the paper never had to:
+*is the improvement larger than the week-to-week noise?*
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+from repro.experiments.common import (
+    DEFAULT_SEED,
+    ExperimentOutput,
+    lambda_config,
+    paper_trace,
+    run_policy,
+)
+from repro.experiments.stats import summarize
+from repro.scheduling.baselines import BackfillingPolicy
+from repro.scheduling.score import ScoreConfig
+from repro.scheduling.score.policy import ScoreBasedPolicy
+
+__all__ = ["run"]
+
+
+def run(
+    scale: float = 0.25,
+    seed: int = DEFAULT_SEED,
+    n_seeds: int = 4,
+) -> ExperimentOutput:
+    """Replicate the BF vs SB@40-90 comparison over ``n_seeds`` worlds."""
+    seeds: Sequence[int] = [seed + 1000 * k for k in range(n_seeds)]
+    savings = []
+    bf_kwh = []
+    sb_kwh = []
+    sla_gap = []
+    for s in seeds:
+        trace = paper_trace(scale=scale, seed=s)
+        bf = run_policy(BackfillingPolicy(), trace,
+                        pm_config=lambda_config(), seed=s)
+        sb = run_policy(
+            ScoreBasedPolicy(ScoreConfig.sb()), trace,
+            pm_config=lambda_config(0.40, 0.90), seed=s,
+        )
+        bf_kwh.append(bf.energy_kwh)
+        sb_kwh.append(sb.energy_kwh)
+        savings.append(100.0 * (1.0 - sb.energy_kwh / bf.energy_kwh))
+        sla_gap.append(sb.satisfaction - bf.satisfaction)
+
+    saving = summarize("energy saving (%)", savings)
+    gap = summarize("satisfaction gap (pts)", sla_gap)
+    rows = [
+        {"seed": s, "bf_kwh": b, "sb_kwh": v, "saving_pct": sv}
+        for s, b, v, sv in zip(seeds, bf_kwh, sb_kwh, savings)
+    ]
+    lines = [
+        f"{'seed':>10} {'BF kWh':>9} {'SB@40-90 kWh':>13} {'saving %':>9}"
+    ]
+    for row in rows:
+        lines.append(
+            f"{row['seed']:>10} {row['bf_kwh']:>9.1f} "
+            f"{row['sb_kwh']:>13.1f} {row['saving_pct']:>9.1f}"
+        )
+    lines.append("")
+    lines.append(str(saving))
+    lines.append(str(gap))
+    significant = saving.mean - saving.ci95 > 0
+    lines.append(
+        "the saving is "
+        + ("statistically solid (CI excludes zero)" if significant
+           else "within week-to-week noise")
+    )
+    return ExperimentOutput(
+        exp_id="ablation_seeds",
+        title="Error bars on the headline energy saving",
+        rows=rows,
+        text="\n".join(lines),
+        paper_reference=(
+            "The paper reports a single week (15 % saving, Table IV); no "
+            "variance is published."
+        ),
+    )

@@ -1,0 +1,95 @@
+"""Extension — is ignoring checkpoint cost safe?  (§IV's modelling claim)
+
+The paper's middleware checkpoints VMs but its simulator does not model
+the cost: "this middleware has also checkpointing and caching
+capabilities, with low contribution to power consumption, and for this
+reason, they have not been simulated."  This experiment *verifies* that
+decision: the same run with (a) no checkpointing, (b) checkpointing with
+zero modelled cost (the paper's configuration), and (c) checkpointing
+with a deliberately generous cost model (a full core for 10 s per host
+every 30 min).  If (c) barely moves the energy/SLA needles, the paper's
+simplification is justified.
+"""
+
+from __future__ import annotations
+
+from repro.engine.config import EngineConfig
+from repro.engine.results import results_table
+from repro.experiments.common import (
+    DEFAULT_SEED,
+    ExperimentOutput,
+    paper_trace,
+    run_policy,
+)
+from repro.scheduling.score import ScoreConfig
+from repro.scheduling.score.policy import ScoreBasedPolicy
+
+__all__ = ["run"]
+
+
+def run(scale: float = 0.25, seed: int = DEFAULT_SEED) -> ExperimentOutput:
+    """Run the three checkpoint-cost configurations."""
+    trace = paper_trace(scale=scale, seed=seed)
+    configs = [
+        ("no-ckpt", EngineConfig(seed=seed)),
+        ("ckpt-free", EngineConfig(seed=seed, checkpoint_interval_s=1800.0)),
+        (
+            "ckpt-costed",
+            EngineConfig(
+                seed=seed,
+                checkpoint_interval_s=1800.0,
+                checkpoint_cpu_pct=100.0,
+                checkpoint_duration_s=10.0,
+            ),
+        ),
+    ]
+    results = []
+    for label, cfg in configs:
+        policy = ScoreBasedPolicy(ScoreConfig.sb(), name=f"SB/{label}")
+        results.append(run_policy(policy, trace, engine_config=cfg, seed=seed))
+
+    base = results[1]
+    costed = results[2]
+    energy_delta = 100.0 * (costed.energy_kwh - base.energy_kwh) / base.energy_kwh
+    sla_delta = costed.satisfaction - base.satisfaction
+    # Chaos baseline: a *different seed* of the cost-free configuration
+    # bounds the simulator's run-to-run variability; the checkpoint cost
+    # only matters if it moves the needle beyond that.
+    policy = ScoreBasedPolicy(ScoreConfig.sb(), name="SB/ckpt-free-reseed")
+    reseeded = run_policy(
+        policy, trace,
+        engine_config=EngineConfig(seed=seed + 1, checkpoint_interval_s=1800.0),
+        seed=seed + 1,
+    )
+    chaos = 100.0 * abs(reseeded.energy_kwh - base.energy_kwh) / base.energy_kwh
+    rows = [
+        {
+            "config": label,
+            "power_kwh": r.energy_kwh,
+            "satisfaction": r.satisfaction,
+            "delay_pct": r.delay_pct,
+        }
+        for (label, _), r in zip(configs, results)
+    ]
+    verdict = (
+        "justified (below the simulator's own seed-to-seed variability)"
+        if abs(energy_delta) <= max(chaos, 1.0)
+        else "worth revisiting"
+    )
+    text = results_table(results) + (
+        f"\ncosting checkpoints changes energy by {energy_delta:+.2f} % and "
+        f"satisfaction by {sla_delta:+.2f} points; "
+        f"seed-to-seed variability is ±{chaos:.2f} % — the paper's "
+        f"decision not to simulate them is {verdict}"
+    )
+    return ExperimentOutput(
+        exp_id="ext_checkpoint_cost",
+        title="Verifying the 'checkpoint cost is negligible' modelling claim",
+        rows=rows,
+        text=text,
+        paper_reference=(
+            "§IV: checkpointing/caching have 'low contribution to power "
+            "consumption, and for this reason, they have not been "
+            "simulated' — stated, not measured; measured here."
+        ),
+    )

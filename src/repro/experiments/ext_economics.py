@@ -1,0 +1,95 @@
+"""Extension — economical decision making (§V-E / §VI future work).
+
+Two questions the paper defers:
+
+1. **Where does the money go?**  The same workload under BF vs SB,
+   accounted with a realistic tariff — how much of the energy saving
+   survives as profit once late-job revenue forfeits are charged.
+2. **Can the knobs set themselves?**  The
+   :class:`~repro.economics.optimizer.EconomicOptimizer` searches
+   (λmin, λmax) × (C_e, C_f) for the profit maximum — "an automatic
+   setting according with economical parameters".
+"""
+
+from __future__ import annotations
+
+from repro.economics.accounting import assess
+from repro.economics.optimizer import EconomicOptimizer
+from repro.economics.pricing import PricingModel, TimeOfUseTariff
+from repro.engine.config import EngineConfig
+from repro.engine.datacenter import DatacenterSimulation
+from repro.experiments.common import (
+    DEFAULT_SEED,
+    ExperimentOutput,
+    lambda_config,
+    paper_cluster,
+    paper_trace,
+)
+from repro.scheduling.baselines import BackfillingPolicy
+from repro.scheduling.score import ScoreConfig
+from repro.scheduling.score.policy import ScoreBasedPolicy
+
+__all__ = ["run"]
+
+
+def run(scale: float = 0.25, seed: int = DEFAULT_SEED) -> ExperimentOutput:
+    """Account BF vs SB, then let the optimizer pick the configuration."""
+    trace = paper_trace(scale=scale, seed=seed)
+    cluster = paper_cluster()
+    pricing = PricingModel(
+        eur_per_core_hour=0.05,
+        energy=TimeOfUseTariff(),
+    )
+    engine_cfg = EngineConfig(seed=seed, record_power_series=True)
+
+    lines = []
+    rows = []
+    for policy in (BackfillingPolicy(), ScoreBasedPolicy(ScoreConfig.sb())):
+        engine = DatacenterSimulation(
+            cluster=cluster,
+            policy=policy,
+            trace=trace.fresh(),
+            pm_config=lambda_config(),
+            config=engine_cfg,
+        )
+        statement = assess(engine, pricing)
+        lines.append(f"{policy.name:>4}: {statement}")
+        rows.append(
+            {
+                "policy": policy.name,
+                "revenue_eur": statement.revenue_eur,
+                "energy_cost_eur": statement.energy_cost_eur,
+                "profit_eur": statement.profit_eur,
+            }
+        )
+
+    optimizer = EconomicOptimizer(
+        cluster, trace, pricing, EngineConfig(seed=seed)
+    )
+    outcome = optimizer.search(
+        lambda_mins=(0.30, 0.50),
+        lambda_maxs=(0.90,),
+        cost_pairs=((0.0, 40.0), (20.0, 40.0)),
+    )
+    lines.append("")
+    lines.append("automatic configuration search (profit-ranked):")
+    lines.append(outcome.table())
+    best = outcome.best
+    lines.append(f"chosen automatically: {best.label()}")
+    rows.append(
+        {
+            "policy": "optimizer-best",
+            "config": best.label(),
+            "profit_eur": best.profit_eur,
+        }
+    )
+    return ExperimentOutput(
+        exp_id="ext_economics",
+        title="Economical decision making: P&L and automatic tuning",
+        rows=rows,
+        text="\n".join(lines),
+        paper_reference=(
+            "§V-E / §VI: 'future work will include an automatic setting "
+            "according with economical parameters' — no numbers published."
+        ),
+    )

@@ -1,0 +1,68 @@
+"""Extension — the §II mapping-heuristic lineage as extra baselines.
+
+The paper situates itself against the immediate/batch mapping heuristics
+of Braun et al. (MET, MCT, Min-Min, Max-Min, OLB).  None of them is
+power-aware; this experiment runs them beside BF and SB on the paper's
+datacenter to show where classic completion-time mapping lands on the
+energy/SLA plane — typically BF-like satisfaction at worse consolidation
+(they spread by completion time, not occupancy).
+"""
+
+from __future__ import annotations
+
+from repro.engine.results import results_table
+from repro.experiments.common import (
+    DEFAULT_SEED,
+    ExperimentOutput,
+    paper_trace,
+    run_policy,
+)
+from repro.scheduling.baselines import BackfillingPolicy
+from repro.scheduling.heuristics import (
+    MaxMinPolicy,
+    MctPolicy,
+    MetPolicy,
+    MinMinPolicy,
+    OlbPolicy,
+)
+from repro.scheduling.score import ScoreConfig
+from repro.scheduling.score.policy import ScoreBasedPolicy
+
+__all__ = ["run"]
+
+
+def run(scale: float = 0.25, seed: int = DEFAULT_SEED) -> ExperimentOutput:
+    """Run the five heuristics next to BF and SB."""
+    trace = paper_trace(scale=scale, seed=seed)
+    policies = [
+        MetPolicy(),
+        MctPolicy(),
+        MinMinPolicy(),
+        MaxMinPolicy(),
+        OlbPolicy(),
+        BackfillingPolicy(),
+        ScoreBasedPolicy(ScoreConfig.sb()),
+    ]
+    results = [run_policy(p, trace, seed=seed) for p in policies]
+    rows = [
+        {
+            "policy": r.policy,
+            "power_kwh": r.energy_kwh,
+            "satisfaction": r.satisfaction,
+            "delay_pct": r.delay_pct,
+            "avg_online": r.avg_online,
+        }
+        for r in results
+    ]
+    return ExperimentOutput(
+        exp_id="ext_heuristics",
+        title="Classic mapping heuristics vs consolidation policies",
+        text=results_table(results),
+        rows=rows,
+        paper_reference=(
+            "No published numbers — §II cites MET/Min-Min/Max-Min/OLB "
+            "([12], [13]) as the heuristic lineage; expectation: "
+            "completion-time mapping holds SLA but wastes energy relative "
+            "to occupancy-aware consolidation."
+        ),
+    )

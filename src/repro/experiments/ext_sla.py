@@ -1,0 +1,71 @@
+"""Extension — dynamic SLA enforcement (the paper's §III-A-5 mechanism).
+
+Also left unevaluated by the paper.  We create SLA pressure by running a
+*small, aggressively power-managed* datacenter (few spares, late boots)
+so that operation races and boot waits push running VMs toward their
+deadlines, then compare the full SB policy with P_SLA + requirement
+inflation on versus off.
+"""
+
+from __future__ import annotations
+
+from repro.engine.config import EngineConfig
+from repro.engine.results import results_table
+from repro.experiments.common import (
+    DEFAULT_SEED,
+    ExperimentOutput,
+    paper_cluster,
+    paper_trace,
+    run_policy,
+)
+from repro.scheduling.power_manager import PowerManagerConfig
+from repro.scheduling.score import ScoreConfig
+from repro.scheduling.score.policy import ScoreBasedPolicy
+
+__all__ = ["run"]
+
+
+def run(scale: float = 0.25, seed: int = DEFAULT_SEED) -> ExperimentOutput:
+    """Compare SB with and without dynamic SLA enforcement under pressure."""
+    trace = paper_trace(scale=scale, seed=seed)
+    cluster = paper_cluster(40)  # tight datacenter: contention is real
+    pm = PowerManagerConfig(lambda_min=0.60, lambda_max=0.95, spare_margin=0.05)
+    engine = EngineConfig(seed=seed)
+    runs = [
+        ScoreBasedPolicy(ScoreConfig.sb(), name="SB"),
+        ScoreBasedPolicy(
+            ScoreConfig.sb(enable_sla=True, th_sla=0.25), name="SB+SLA"
+        ),
+    ]
+    results = [
+        run_policy(p, trace, cluster=cluster, pm_config=pm,
+                   engine_config=engine, seed=seed)
+        for p in runs
+    ]
+    rows = [
+        {
+            "policy": r.policy,
+            "satisfaction": r.satisfaction,
+            "delay_pct": r.delay_pct,
+            "power_kwh": r.energy_kwh,
+            "sla_inflations": r.sla_violations,
+            "migrations": r.migrations,
+        }
+        for r in results
+    ]
+    extra = "\n".join(
+        f"{r.policy:>8}: requirement inflations {r.sla_violations}, "
+        f"migrations {r.migrations}"
+        for r in results
+    )
+    return ExperimentOutput(
+        exp_id="ext_sla",
+        title="Dynamic SLA enforcement under capacity pressure",
+        text=results_table(results) + "\n" + extra,
+        rows=rows,
+        paper_reference=(
+            "No published numbers — §VI future work; expectation from "
+            "§III-A-5: detecting a violation inflates the VM's requirement "
+            "so the next round relocates it to a host with headroom."
+        ),
+    )

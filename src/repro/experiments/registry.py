@@ -1,0 +1,78 @@
+"""Registry mapping experiment ids to their runner modules."""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, List
+
+from repro.errors import ConfigurationError
+from repro.experiments import (
+    ablation_power,
+    ablation_seeds,
+    ablation_solver,
+    ext_checkpoint_cost,
+    ext_dynamic_thresholds,
+    ext_economics,
+    ext_federation,
+    ext_heuristics,
+    ext_reliability,
+    ext_sla,
+    ext_workloads,
+    figure1_validation,
+    figures2_3_thresholds,
+    table1_power,
+    table2_static,
+    table3_overheads,
+    table4_migration,
+    table5_consolidation,
+)
+from repro.experiments.common import ExperimentOutput
+
+__all__ = ["get", "list_ids", "all_experiments", "REGISTRY"]
+
+REGISTRY: Dict[str, Callable[..., ExperimentOutput]] = {
+    "table1": table1_power.run,
+    "figure1": figure1_validation.run,
+    "figures2_3": figures2_3_thresholds.run,
+    "table2": table2_static.run,
+    "table3": table3_overheads.run,
+    "table4": table4_migration.run,
+    "table5": table5_consolidation.run,
+    "ext_reliability": ext_reliability.run,
+    "ext_sla": ext_sla.run,
+    "ext_heuristics": ext_heuristics.run,
+    "ext_checkpoint_cost": ext_checkpoint_cost.run,
+    "ext_economics": ext_economics.run,
+    "ext_federation": ext_federation.run,
+    "ext_workloads": ext_workloads.run,
+    "ext_dynamic_thresholds": ext_dynamic_thresholds.run,
+    "ablation_power": ablation_power.run,
+    "ablation_solver": ablation_solver.run,
+    "ablation_seeds": ablation_seeds.run,
+}
+
+
+def get(exp_id: str) -> Callable[..., ExperimentOutput]:
+    """Runner for one experiment id (raises on unknown ids)."""
+    try:
+        return REGISTRY[exp_id]
+    except KeyError:
+        known = ", ".join(sorted(REGISTRY))
+        raise ConfigurationError(
+            f"unknown experiment {exp_id!r}; known: {known}"
+        ) from None
+
+
+def list_ids() -> List[str]:
+    """All experiment ids in presentation order."""
+    return list(REGISTRY)
+
+
+def all_experiments(scale: float = 1.0, seed: int | None = None) -> List[ExperimentOutput]:
+    """Run the whole evaluation (pass ``scale < 1`` for a quick pass)."""
+    outputs = []
+    for exp_id, runner in REGISTRY.items():
+        kwargs = {"scale": scale}
+        if seed is not None:
+            kwargs["seed"] = seed
+        outputs.append(runner(**kwargs))
+    return outputs

@@ -1,0 +1,66 @@
+"""Table I — virtualized server power usage.
+
+The paper measures a 4-way Xen machine under eight VM configurations and
+finds "there is no dependence in the number of VMs and in how they are
+configured. The only real dependence is with the total CPU consumed."
+This experiment regenerates the table on the :class:`MicroTestbed` and
+checks the layout-independence claim numerically.
+"""
+
+from __future__ import annotations
+
+from typing import List, Tuple
+
+from repro.experiments.common import DEFAULT_SEED, ExperimentOutput
+from repro.validation.testbed import MicroTestbed
+
+__all__ = ["run", "PAPER_ROWS"]
+
+#: (label, per-VM loads, paper's measured watts).
+PAPER_ROWS: Tuple[Tuple[str, Tuple[float, ...], float], ...] = (
+    ("1 VCPU @ 100%", (100.0,), 259.0),
+    ("2 VCPUs @ 200%", (200.0,), 273.0),
+    ("3 VCPUs @ 300%", (300.0,), 291.0),
+    ("4 VCPUs @ 400%", (400.0,), 304.0),
+    ("1+1 @ 2x100%", (100.0, 100.0), 273.0),
+    ("1+2 @ 100%+200%", (100.0, 200.0), 291.0),
+    ("1+1+1+1 @ 4x100%", (100.0, 100.0, 100.0, 100.0), 304.0),
+    ("1+1+1+1 @ 4x0%", (0.0, 0.0, 0.0, 0.0), 230.0),
+)
+
+
+def run(scale: float = 1.0, seed: int = DEFAULT_SEED) -> ExperimentOutput:
+    """Regenerate Table I (``scale`` shortens the averaging window)."""
+    testbed = MicroTestbed(seed=seed, background_w=0.0)
+    seconds = max(int(60 * scale), 5)
+    rows = []
+    lines = [f"{'configuration':<20} {'measured W':>11} {'paper W':>8}"]
+    for label, loads, paper_w in PAPER_ROWS:
+        measured = testbed.steady_state_power(loads, seconds=seconds)
+        rows.append(
+            {"configuration": label, "measured_w": measured, "paper_w": paper_w}
+        )
+        lines.append(f"{label:<20} {measured:>11.1f} {paper_w:>8.1f}")
+
+    # The headline claim: layout independence at equal total CPU.
+    single = testbed.steady_state_power((200.0,), seconds=seconds)
+    split = testbed.steady_state_power((100.0, 100.0), seconds=seconds)
+    lines.append(
+        f"layout independence: |P(200%) - P(100%+100%)| = {abs(single - split):.2f} W"
+    )
+    return ExperimentOutput(
+        exp_id="table1",
+        title="Virtualized server power usage",
+        text="\n".join(lines),
+        rows=rows,
+        paper_reference=(
+            "230 W idle; 259/273/291/304 W at 100/200/300/400 % total CPU; "
+            "identical watts for any VM layout at equal total CPU"
+        ),
+        notes=(
+            "Measured on the MicroTestbed substitute for the authors' 4-way "
+            "machine; the TablePowerModel embeds the published curve, the "
+            "testbed adds measurement noise, so agreement validates the "
+            "noise/averaging pipeline and the layout-independence claim."
+        ),
+    )

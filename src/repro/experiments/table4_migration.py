@@ -1,0 +1,69 @@
+"""Table IV — impact of migration: DBF vs the full score-based policy.
+
+Dynamic Backfilling migrates whenever consolidation is possible; SB
+prices migration (P_virt) and operation races (P_conc), migrating less
+for more benefit.  With λ 40/90 the paper reports the headline result:
+**15 % less power than Backfilling** (12 % less than DBF) at comparable
+SLA fulfilment.
+"""
+
+from __future__ import annotations
+
+from repro.engine.results import results_table
+from repro.experiments.common import (
+    DEFAULT_SEED,
+    ExperimentOutput,
+    lambda_config,
+    paper_trace,
+    run_policy,
+)
+from repro.scheduling.baselines import BackfillingPolicy
+from repro.scheduling.dynamic_backfilling import DynamicBackfillingPolicy
+from repro.scheduling.score import ScoreConfig
+from repro.scheduling.score.policy import ScoreBasedPolicy
+
+__all__ = ["run"]
+
+PAPER = """\
+      λ      Work/ON     CPU (h)  Pwr (kWh)  S (%)  delay (%)  Mig
+DBF   30-90  9.7 / 21.3  6056.0    970.6     98.1   12.9       124
+SB    30-90  9.7 / 21.0  6055.8    956.4     99.1    9.0        87
+SB    40-90  9.7 / 18.3  6055.8    850.2     98.4    9.9        87
+(reduction vs BF 1007.3 kWh: 15 %; vs DBF: 12 %)"""
+
+
+def run(scale: float = 1.0, seed: int = DEFAULT_SEED) -> ExperimentOutput:
+    """Regenerate Table IV (BF included as the reduction baseline)."""
+    trace = paper_trace(scale=scale, seed=seed)
+    runs = [
+        (BackfillingPolicy(), lambda_config()),
+        (DynamicBackfillingPolicy(), lambda_config()),
+        (ScoreBasedPolicy(ScoreConfig.sb()), lambda_config()),
+        (ScoreBasedPolicy(ScoreConfig.sb()), lambda_config(0.40, 0.90)),
+    ]
+    results = [run_policy(p, trace, pm_config=pm, seed=seed) for p, pm in runs]
+    bf, dbf, sb, sb40 = results
+    vs_bf = 100.0 * (1.0 - sb40.energy_kwh / bf.energy_kwh)
+    vs_dbf = 100.0 * (1.0 - sb40.energy_kwh / dbf.energy_kwh)
+    rows = [
+        {
+            "policy": r.policy,
+            "lambdas": r.lambdas,
+            "power_kwh": r.energy_kwh,
+            "satisfaction": r.satisfaction,
+            "delay_pct": r.delay_pct,
+            "migrations": r.migrations,
+        }
+        for r in results
+    ]
+    text = results_table(results) + (
+        f"\nSB @ 40-90 vs BF @ 30-90: {vs_bf:.1f} % less energy (paper: 15 %)"
+        f"\nSB @ 40-90 vs DBF @ 30-90: {vs_dbf:.1f} % less energy (paper: 12 %)"
+    )
+    return ExperimentOutput(
+        exp_id="table4",
+        title="Scheduling results of policies with migration",
+        text=text,
+        rows=rows,
+        paper_reference=PAPER,
+    )

@@ -1,0 +1,39 @@
+"""Multi-datacenter federation: cost- and carbon-aware load distribution.
+
+§II's closing trend: "newer trends presented in [20] propose the usage of
+different data centers with distributed locations in order to distribute
+workload among those according to its power consumption and its source.
+Our framework can be applied to this model in order to give it a more
+detailed and precise vision."  This package is that application:
+
+* :mod:`repro.federation.site` — a datacenter site with a timezone, an
+  electricity tariff and a (diurnally varying, e.g. solar-backed) carbon
+  intensity;
+* :mod:`repro.federation.dispatch` — front-end dispatchers routing each
+  arriving job to a site (round robin, cheapest-energy /
+  follow-the-moon, greenest);
+* :mod:`repro.federation.federation` — splits the workload by dispatcher
+  decision, runs every site through the full single-datacenter simulator,
+  and aggregates energy, cost, carbon and satisfaction.
+"""
+
+from repro.federation.site import SiteSpec, CarbonModel
+from repro.federation.dispatch import (
+    Dispatcher,
+    RoundRobinDispatcher,
+    CheapestEnergyDispatcher,
+    GreenestDispatcher,
+)
+from repro.federation.federation import Federation, FederationResult, SiteOutcome
+
+__all__ = [
+    "SiteSpec",
+    "CarbonModel",
+    "Dispatcher",
+    "RoundRobinDispatcher",
+    "CheapestEnergyDispatcher",
+    "GreenestDispatcher",
+    "Federation",
+    "FederationResult",
+    "SiteOutcome",
+]

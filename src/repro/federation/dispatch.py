@@ -1,0 +1,135 @@
+"""Front-end dispatchers: which site gets an arriving job?
+
+Dispatchers see only what a geo-frontend realistically knows at admission
+time: the arrival instant, the job's declared shape, each site's static
+description and a cheap running estimate of the load already sent there.
+They do **not** see inside the per-site schedulers — that separation is
+the whole point of layering the paper's framework under [20]'s model.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Sequence
+
+from repro.errors import ConfigurationError
+from repro.federation.site import SiteSpec
+from repro.units import HOUR
+from repro.workload.job import Job
+
+__all__ = [
+    "Dispatcher",
+    "RoundRobinDispatcher",
+    "CheapestEnergyDispatcher",
+    "GreenestDispatcher",
+]
+
+
+class Dispatcher:
+    """Base class: route one job to one site name."""
+
+    name: str = "abstract"
+
+    def assign(self, job: Job, sites: Sequence[SiteSpec]) -> str:
+        """Return the chosen site's name."""
+        raise NotImplementedError
+
+    # Load tracking shared by the subclasses: outstanding core-seconds per
+    # site, decayed implicitly by comparing against the job's own span.
+    def _init_load(self, sites: Sequence[SiteSpec]) -> None:
+        if not hasattr(self, "_load_until"):
+            self._load_until: Dict[str, List] = {s.name: [] for s in sites}
+
+    def _current_cores(self, site: SiteSpec, now: float) -> float:
+        self._init_load([site])
+        entries = self._load_until.setdefault(site.name, [])
+        entries[:] = [(end, cores) for end, cores in entries if end > now]
+        return sum(cores for _, cores in entries)
+
+    def _commit(self, site: SiteSpec, job: Job) -> None:
+        entries = self._load_until.setdefault(site.name, [])
+        entries.append((job.submit_time + job.runtime_s, job.cores))
+
+    def _has_headroom(self, site: SiteSpec, job: Job) -> bool:
+        """Admission estimate: declared load below the site's capacity."""
+        return (
+            self._current_cores(site, job.submit_time) + job.cores
+            <= site.cluster.total_cores
+        )
+
+
+class RoundRobinDispatcher(Dispatcher):
+    """Geo-blind rotation — the fairness baseline."""
+
+    name = "geo-rr"
+
+    def __init__(self) -> None:
+        self._cursor = 0
+
+    def assign(self, job: Job, sites: Sequence[SiteSpec]) -> str:
+        if not sites:
+            raise ConfigurationError("no sites")
+        site = sites[self._cursor % len(sites)]
+        self._cursor += 1
+        self._init_load(sites)
+        self._commit(site, job)
+        return site.name
+
+
+class CheapestEnergyDispatcher(Dispatcher):
+    """Follow the moon: the site whose electricity is cheapest *now*.
+
+    Estimates the price over the job's declared span (a long job started
+    off-peak may finish on-peak), and falls back to the next-cheapest site
+    when the cheapest has no estimated headroom.
+    """
+
+    name = "cheapest-energy"
+
+    def _span_price(self, site: SiteSpec, job: Job) -> float:
+        # Sample the local tariff across the job's expected span.
+        samples = 4
+        total = 0.0
+        for k in range(samples):
+            t = job.submit_time + job.runtime_s * (k + 0.5) / samples
+            total += site.energy_price_at(t)
+        return total / samples
+
+    def assign(self, job: Job, sites: Sequence[SiteSpec]) -> str:
+        if not sites:
+            raise ConfigurationError("no sites")
+        self._init_load(sites)
+        ranked = sorted(sites, key=lambda s: (self._span_price(s, job), s.name))
+        for site in ranked:
+            if self._has_headroom(site, job):
+                self._commit(site, job)
+                return site.name
+        site = ranked[0]
+        self._commit(site, job)
+        return site.name
+
+
+class GreenestDispatcher(Dispatcher):
+    """Follow the sun: the site with the lowest carbon intensity *now*."""
+
+    name = "greenest"
+
+    def _span_carbon(self, site: SiteSpec, job: Job) -> float:
+        samples = 4
+        total = 0.0
+        for k in range(samples):
+            t = job.submit_time + job.runtime_s * (k + 0.5) / samples
+            total += site.carbon_at(t)
+        return total / samples
+
+    def assign(self, job: Job, sites: Sequence[SiteSpec]) -> str:
+        if not sites:
+            raise ConfigurationError("no sites")
+        self._init_load(sites)
+        ranked = sorted(sites, key=lambda s: (self._span_carbon(s, job), s.name))
+        for site in ranked:
+            if self._has_headroom(site, job):
+                self._commit(site, job)
+                return site.name
+        site = ranked[0]
+        self._commit(site, job)
+        return site.name

@@ -1,0 +1,86 @@
+"""Datacenter sites: location-dependent energy price and carbon source.
+
+A site wraps a cluster with the two things geography adds: a local-time
+electricity tariff (shifted by the timezone) and a carbon intensity that
+can dip during local daylight when part of the supply is solar — the
+"according to its power consumption and its source" of §II [20].
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+from typing import Optional
+
+from repro.cluster.spec import ClusterSpec
+from repro.economics.pricing import TimeOfUseTariff
+from repro.engine.config import EngineConfig
+from repro.errors import ConfigurationError
+from repro.scheduling.power_manager import PowerManagerConfig
+from repro.units import DAY, HOUR
+
+__all__ = ["CarbonModel", "SiteSpec"]
+
+
+@dataclass(frozen=True)
+class CarbonModel:
+    """Grid carbon intensity with an optional solar daylight dip.
+
+    ``intensity(t_local)`` is ``base`` g CO₂/kWh, reduced by up to
+    ``solar_fraction`` around local noon (raised-cosine daylight window
+    06:00-18:00).
+    """
+
+    base_g_per_kwh: float = 400.0
+    solar_fraction: float = 0.0
+
+    def __post_init__(self) -> None:
+        if self.base_g_per_kwh < 0:
+            raise ConfigurationError("carbon intensity must be >= 0")
+        if not 0.0 <= self.solar_fraction <= 1.0:
+            raise ConfigurationError("solar fraction must be in [0, 1]")
+
+    def intensity_at(self, t_local_s: float) -> float:
+        """g CO₂/kWh at a local-time instant."""
+        if self.solar_fraction <= 0.0:
+            return self.base_g_per_kwh
+        hour = (t_local_s % DAY) / HOUR
+        if 6.0 <= hour <= 18.0:
+            daylight = 0.5 * (1.0 - math.cos(math.pi * (hour - 6.0) / 6.0))
+            # daylight peaks at 1.0 at noon, 0 at 06:00/18:00.
+            if hour > 12.0:
+                daylight = 0.5 * (1.0 - math.cos(math.pi * (18.0 - hour) / 6.0))
+        else:
+            daylight = 0.0
+        return self.base_g_per_kwh * (1.0 - self.solar_fraction * daylight)
+
+
+@dataclass(frozen=True)
+class SiteSpec:
+    """One federated datacenter."""
+
+    name: str
+    cluster: ClusterSpec
+    tz_offset_h: float = 0.0
+    tariff: TimeOfUseTariff = field(default_factory=TimeOfUseTariff)
+    carbon: CarbonModel = field(default_factory=CarbonModel)
+    pm_config: PowerManagerConfig = field(default_factory=PowerManagerConfig)
+    engine_config: EngineConfig = field(default_factory=EngineConfig)
+
+    def __post_init__(self) -> None:
+        if not self.name:
+            raise ConfigurationError("site needs a name")
+        if not -14.0 <= self.tz_offset_h <= 14.0:
+            raise ConfigurationError("timezone offset out of range")
+
+    def local_time(self, t_utc_s: float) -> float:
+        """Convert federation (UTC-like) time to this site's local time."""
+        return t_utc_s + self.tz_offset_h * HOUR
+
+    def energy_price_at(self, t_utc_s: float) -> float:
+        """€/kWh at a federation instant (local tariff)."""
+        return self.tariff.price_at(self.local_time(t_utc_s))
+
+    def carbon_at(self, t_utc_s: float) -> float:
+        """g CO₂/kWh at a federation instant (local supply mix)."""
+        return self.carbon.intensity_at(self.local_time(t_utc_s))

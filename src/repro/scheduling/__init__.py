@@ -1,0 +1,61 @@
+"""Scheduling policies and the power manager.
+
+* :mod:`repro.scheduling.actions` — the action vocabulary policies emit
+  (place, migrate, turn on/off);
+* :mod:`repro.scheduling.base` — the policy interface;
+* :mod:`repro.scheduling.baselines` — Random (RD), Round-Robin (RR) and
+  Backfilling (BF), the paper's static comparison policies (§V-B);
+* :mod:`repro.scheduling.dynamic_backfilling` — Dynamic Backfilling (DBF),
+  the migrating baseline of §V-D;
+* :mod:`repro.scheduling.power_manager` — the λmin/λmax turn-on/off
+  controller (§III-C);
+* :mod:`repro.scheduling.score` — the paper's score-based policy
+  (§III): penalties, score matrix, hill-climbing solver, presets
+  SB0/SB1/SB2/SB.
+"""
+
+from repro.scheduling.actions import Action, Place, Migrate, TurnOn, TurnOff
+from repro.scheduling.base import SchedulingPolicy, SchedulingContext
+from repro.scheduling.baselines import RandomPolicy, RoundRobinPolicy, BackfillingPolicy
+from repro.scheduling.dynamic_backfilling import DynamicBackfillingPolicy
+from repro.scheduling.heuristics import (
+    MaxMinPolicy,
+    MctPolicy,
+    MetPolicy,
+    MinMinPolicy,
+    OlbPolicy,
+)
+from repro.scheduling.adaptive import AdaptivePowerManager
+from repro.scheduling.power_manager import PowerManager, PowerManagerConfig
+from repro.scheduling.score import (
+    ScoreConfig,
+    ScoreBasedPolicy,
+    ScoreMatrixBuilder,
+    hill_climb,
+)
+
+__all__ = [
+    "Action",
+    "Place",
+    "Migrate",
+    "TurnOn",
+    "TurnOff",
+    "SchedulingPolicy",
+    "SchedulingContext",
+    "RandomPolicy",
+    "RoundRobinPolicy",
+    "BackfillingPolicy",
+    "DynamicBackfillingPolicy",
+    "MetPolicy",
+    "MctPolicy",
+    "MinMinPolicy",
+    "MaxMinPolicy",
+    "OlbPolicy",
+    "AdaptivePowerManager",
+    "PowerManager",
+    "PowerManagerConfig",
+    "ScoreConfig",
+    "ScoreBasedPolicy",
+    "ScoreMatrixBuilder",
+    "hill_climb",
+]

@@ -1,0 +1,49 @@
+"""Actions emitted by scheduling policies and the power manager.
+
+The engine's actuators (:mod:`repro.engine.actuators`) translate these into
+simulated operations: a :class:`Place` becomes a VM creation with the
+host-class creation overhead; a :class:`Migrate` becomes a live migration
+with overhead legs on both hosts; :class:`TurnOn`/:class:`TurnOff` drive
+the physical machine lifecycle.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+__all__ = ["Action", "Place", "Migrate", "TurnOn", "TurnOff"]
+
+
+@dataclass(frozen=True)
+class Action:
+    """Base class for scheduling decisions."""
+
+
+@dataclass(frozen=True)
+class Place(Action):
+    """Create (or re-create) a queued VM on a host."""
+
+    vm_id: int
+    host_id: int
+
+
+@dataclass(frozen=True)
+class Migrate(Action):
+    """Live-migrate a running VM to a destination host."""
+
+    vm_id: int
+    dst_host_id: int
+
+
+@dataclass(frozen=True)
+class TurnOn(Action):
+    """Boot a powered-off machine."""
+
+    host_id: int
+
+
+@dataclass(frozen=True)
+class TurnOff(Action):
+    """Shut down an idle machine."""
+
+    host_id: int

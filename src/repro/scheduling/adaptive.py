@@ -1,0 +1,110 @@
+"""Dynamic λ thresholds — §VI's "new enhancements ... such as dynamic
+thresholds", built as a feedback controller.
+
+§V-A ends: "A next step would be to dynamically adjust these thresholds,
+which is part of our future work."  :class:`AdaptivePowerManager` is that
+step: every ``period_s`` it inspects the live cluster state and nudges
+λmin within configured bounds —
+
+* **tighten** (lower λmin → more spares) when any queued or running VM is
+  projected to miss its deadline: capacity is the cheapest SLA medicine;
+* **relax** (raise λmin → trim harder) after a full quiet period with
+  spare capacity sitting idle: nobody is at risk, stop paying for slack.
+
+The controller only ever moves λmin — λmax stays the admission trigger —
+and inherits everything else (steering target, boot ranking, minexec)
+from :class:`~repro.scheduling.power_manager.PowerManager`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import replace
+from typing import List, Optional
+
+from repro.cluster.vm import VmState
+from repro.errors import ConfigurationError
+from repro.scheduling.actions import Action
+from repro.scheduling.base import SchedulingContext, SchedulingPolicy
+from repro.scheduling.power_manager import PowerManager, PowerManagerConfig
+from repro.sla.monitor import fulfillment
+
+__all__ = ["AdaptivePowerManager"]
+
+
+class AdaptivePowerManager(PowerManager):
+    """A :class:`PowerManager` whose λmin adapts to SLA pressure.
+
+    Parameters
+    ----------
+    base:
+        Starting thresholds (default: the paper's λ 30/90).
+    lambda_min_floor / lambda_min_ceil:
+        Bounds of the adaptation; λmin never leaves [floor, ceil] and
+        never crosses λmax.
+    step:
+        Adjustment applied per adaptation tick.
+    period_s:
+        Minimum time between adjustments.
+
+    Examples
+    --------
+    >>> pm = AdaptivePowerManager()
+    >>> pm.config.lambda_min
+    0.3
+    """
+
+    def __init__(
+        self,
+        base: Optional[PowerManagerConfig] = None,
+        *,
+        lambda_min_floor: float = 0.20,
+        lambda_min_ceil: float = 0.60,
+        step: float = 0.05,
+        period_s: float = 1800.0,
+    ) -> None:
+        super().__init__(base or PowerManagerConfig())
+        if not 0.0 < lambda_min_floor <= lambda_min_ceil < 1.0:
+            raise ConfigurationError("invalid lambda_min bounds")
+        if step <= 0 or period_s <= 0:
+            raise ConfigurationError("step and period must be positive")
+        self.lambda_min_floor = lambda_min_floor
+        self.lambda_min_ceil = lambda_min_ceil
+        self.step = step
+        self.period_s = period_s
+        self._last_adjust = -float("inf")
+        #: (time, lambda_min) history, for inspection and tests.
+        self.adjustments: List[tuple] = []
+
+    # ------------------------------------------------------------- feedback
+
+    def _at_risk(self, ctx: SchedulingContext) -> bool:
+        """Is any active VM projected to miss its deadline?"""
+        for vm in ctx.queued:
+            if fulfillment(vm, ctx.now) < 1.0:
+                return True
+        for vm in ctx.placed:
+            if vm.state is VmState.RUNNING and fulfillment(vm, ctx.now) < 1.0:
+                return True
+        return False
+
+    def _adapt(self, ctx: SchedulingContext) -> None:
+        cfg = self.config
+        if self._at_risk(ctx):
+            new_min = max(cfg.lambda_min - self.step, self.lambda_min_floor)
+        else:
+            new_min = min(
+                cfg.lambda_min + self.step,
+                self.lambda_min_ceil,
+                cfg.lambda_max - 0.05,
+            )
+        if new_min != cfg.lambda_min:
+            self.config = replace(cfg, lambda_min=new_min)
+            self.adjustments.append((ctx.now, new_min))
+
+    # -------------------------------------------------------------- control
+
+    def control(self, ctx: SchedulingContext, policy: SchedulingPolicy) -> List[Action]:
+        if ctx.now - self._last_adjust >= self.period_s:
+            self._last_adjust = ctx.now
+            self._adapt(ctx)
+        return super().control(ctx, policy)

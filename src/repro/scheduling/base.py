@@ -1,0 +1,96 @@
+"""The scheduling-policy interface.
+
+A policy is a pure decision function: given a :class:`SchedulingContext`
+(hosts, queued VMs, placed VMs, current time) it returns a list of
+:class:`~repro.scheduling.actions.Action`.  Policies must treat the context
+as **read-only** — the engine applies the returned actions through its
+actuators, validating feasibility.  Passing live host objects (instead of
+defensive snapshots) keeps the hot scheduling path allocation-free, per the
+HPC guides; the engine enforces the contract by validating every action
+before applying it.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence
+
+from repro.cluster.host import Host
+from repro.cluster.vm import Vm, VmState
+from repro.scheduling.actions import Action
+
+__all__ = ["SchedulingContext", "SchedulingPolicy"]
+
+
+@dataclass
+class SchedulingContext:
+    """Read-only view handed to policies each scheduling round.
+
+    Attributes
+    ----------
+    now:
+        Current simulation time.
+    hosts:
+        All hosts in id order, whatever their state; policies must check
+        :attr:`~repro.cluster.host.Host.is_available` themselves (the
+        score matrix does it through the P_req/P_res infinities).
+    queued:
+        VMs waiting in the virtual host, in arrival order.
+    placed:
+        VMs currently resident on hosts (running, creating or migrating).
+    """
+
+    now: float
+    hosts: Sequence[Host]
+    queued: Sequence[Vm]
+    placed: Sequence[Vm]
+
+    @property
+    def movable(self) -> List[Vm]:
+        """Placed VMs eligible for migration.
+
+        VMs with an operation in flight are pinned (the paper assigns them
+        an infinite penalty away from their host, §III-A-3).
+        """
+        return [vm for vm in self.placed if vm.state is VmState.RUNNING]
+
+    def host_by_id(self, host_id: int) -> Host:
+        """Look up a host by id."""
+        for h in self.hosts:
+            if h.host_id == host_id:
+                return h
+        raise KeyError(host_id)
+
+
+class SchedulingPolicy:
+    """Base class for schedulers.
+
+    Subclasses implement :meth:`decide`.  ``supports_migration`` advertises
+    whether the policy ever emits :class:`~repro.scheduling.actions.Migrate`
+    (the engine uses it purely for reporting).
+    """
+
+    #: Human-readable name used in result tables.
+    name: str = "abstract"
+    #: Whether the policy emits migrations.
+    supports_migration: bool = False
+
+    def decide(self, ctx: SchedulingContext) -> List[Action]:
+        """Return the actions to apply this round."""
+        raise NotImplementedError
+
+    def host_shutdown_ranking(self, ctx: SchedulingContext, candidates: List[Host]) -> List[Host]:
+        """Order idle hosts by shutdown preference (first = shut down first).
+
+        The default prefers shutting down the slowest class (highest
+        creation overhead) and, within a class, the highest id.  The
+        score-based policy overrides this with its matrix-derived host
+        score, as §III-C describes.
+        """
+        return sorted(
+            candidates,
+            key=lambda h: (-h.spec.creation_s, -h.host_id),
+        )
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"{type(self).__name__}(name={self.name!r})"

@@ -1,0 +1,200 @@
+"""The paper's static baseline policies (§V-B).
+
+* **Random (RD)** — "assigns the tasks randomly": each task is bound, at
+  arrival, to a uniformly random node of the datacenter, with no regard to
+  power state or load.  If the node is off it must be booted; if its
+  memory is busy the task waits in that node's local queue; its CPU may be
+  overcommitted (the Xen credit scheduler then squeezes every guest).
+* **Round Robin (RR)** — "assigns a task to each available node": the same
+  binding discipline, but cycling over the node list — "a maximization of
+  the amount of resources to a task but also a sparse usage of the
+  resources".  Spreading touches the maximum number of nodes, which is
+  what makes RR the *worst* power consumer in the paper's Table II.
+* **Backfilling (BF)** — "tries to fill as much as possible the nodes":
+  best-fit placement into the most occupied **online** host that still has
+  room (occupation ≤ 1 after placement), never overcommitting and never
+  binding to a specific node in advance.
+
+RD and RR are deliberately *static*: a task waits for its bound node even
+when other nodes sit idle (no migration, no rebinding).  That node-local
+queueing — on top of boot waits and CPU contention — is what produces the
+catastrophic delays of the paper's Table II, while the bound-node spread
+keeps far more machines on than consolidating policies need.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional
+
+import numpy as np
+
+from repro.cluster.host import Host, HostState
+from repro.cluster.vm import Vm
+from repro.des.random import RandomStreams
+from repro.scheduling.actions import Action, Place, TurnOn
+from repro.scheduling.base import SchedulingContext, SchedulingPolicy
+
+__all__ = ["RandomPolicy", "RoundRobinPolicy", "BackfillingPolicy"]
+
+
+class _StickyBindingPolicy(SchedulingPolicy):
+    """Common machinery of the static, node-binding policies (RD/RR).
+
+    Subclasses implement :meth:`_pick` to choose the node a newly arrived
+    task is bound to.  The binding is *exclusive*: the task gets the whole
+    machine ("maximization of the amount of resources to a task").  Each
+    round the policy then:
+
+    * boots bound nodes that are off (emitting :class:`TurnOn`),
+    * places every queued VM whose bound node is on and **empty**,
+    * leaves everyone else waiting in their node's local queue — the
+      defining pathology of static allocation: a task waits for its node
+      even while other machines sit idle.
+    """
+
+    supports_migration = False
+
+    def __init__(self) -> None:
+        self._binding: Dict[int, int] = {}
+
+    def _pick(self, ctx: SchedulingContext, vm: Vm, candidates: List[Host]) -> Optional[Host]:
+        """Choose the node to bind ``vm`` to; ``None`` leaves it unbound."""
+        raise NotImplementedError
+
+    def decide(self, ctx: SchedulingContext) -> List[Action]:
+        actions: List[Action] = []
+        boot_requested: set = set()
+        claimed: set = set()
+        for vm in ctx.queued:
+            host_id = self._binding.get(vm.vm_id)
+            host: Optional[Host] = None
+            if host_id is not None:
+                host = ctx.host_by_id(host_id)
+                if host.state is HostState.FAILED:
+                    host = None  # rebind: the node is gone
+            if host is None:
+                candidates = [
+                    h
+                    for h in ctx.hosts
+                    if h.state is not HostState.FAILED and h.meets_requirements(vm.job)
+                ]
+                if not candidates:
+                    continue
+                host = self._pick(ctx, vm, candidates)
+                if host is None:
+                    continue  # nothing acceptable now; retry next round
+                self._binding[vm.vm_id] = host.host_id
+                vm.exclusive = True
+
+            if host.state is HostState.OFF:
+                if host.host_id not in boot_requested:
+                    actions.append(TurnOn(host_id=host.host_id))
+                    boot_requested.add(host.host_id)
+                continue
+            if not host.is_on:
+                continue  # booting: keep waiting
+            if host.n_vms > 0 or host.host_id in claimed:
+                continue  # node-local queue: wait for *this* node to free up
+            actions.append(Place(vm_id=vm.vm_id, host_id=host.host_id))
+            claimed.add(host.host_id)
+            del self._binding[vm.vm_id]
+        return actions
+
+
+class RandomPolicy(_StickyBindingPolicy):
+    """RD: bind each task to a uniformly random *online* node.
+
+    Pure power-blind randomness: the pick ignores how loaded the node is,
+    so tasks stack up in node-local queues behind whatever landed there
+    first — even while the λ controller keeps booting fresh machines for
+    the next arrivals.  That combination (old tasks stuck on busy nodes,
+    new tasks scattering onto newly booted ones) is what gives the paper's
+    RD row both a *high* online count and a *terrible* satisfaction.
+    Only when nothing is online at all (cold night) does RD fall back to a
+    random off machine.
+    """
+
+    name = "RD"
+
+    def __init__(self, streams: Optional[RandomStreams] = None) -> None:
+        super().__init__()
+        self._rng = (streams or RandomStreams(seed=0)).get("policy.random")
+
+    def _pick(self, ctx: SchedulingContext, vm: Vm, candidates: List[Host]) -> Optional[Host]:
+        online = [h for h in candidates if h.is_available]
+        pool = online if online else candidates
+        return pool[int(self._rng.integers(len(pool)))]
+
+
+class RoundRobinPolicy(_StickyBindingPolicy):
+    """RR: bind tasks to the datacenter's nodes in blind cyclic id order.
+
+    "Assigns a task to each available node, which implies a maximization
+    of the amount of resources to a task but also a sparse usage of the
+    resources": the cursor sweeps the *whole* machine list — off machines
+    get booted, busy ones get a local queue entry — so RR touches the
+    maximum number of distinct nodes.  That sparse sweep is what makes RR
+    the worst power consumer of Table II (even worse than RD, which at
+    least confines itself to machines already online), while the blind
+    stacking during sustained load still costs it a large slice of SLA.
+    """
+
+    name = "RR"
+
+    def __init__(self) -> None:
+        super().__init__()
+        self._cursor = 0
+
+    def _pick(self, ctx: SchedulingContext, vm: Vm, candidates: List[Host]) -> Optional[Host]:
+        candidates = sorted(candidates, key=lambda h: h.host_id)
+        host = candidates[self._cursor % len(candidates)]
+        self._cursor += 1
+        return host
+
+
+class BackfillingPolicy(SchedulingPolicy):
+    """BF: best-fit placement into the most occupied online host with room.
+
+    Queued VMs are considered in arrival order (FCFS with backfilling
+    semantics: a job that does not fit anywhere is skipped and later,
+    smaller jobs may still be placed — the classic backfilling idea mapped
+    to space sharing).
+    """
+
+    name = "BF"
+    supports_migration = False
+
+    def decide(self, ctx: SchedulingContext) -> List[Action]:
+        actions: List[Action] = []
+        # Track this round's hypothetical additions so multiple placements
+        # within one round stay feasible.
+        cpu_extra = {h.host_id: 0.0 for h in ctx.hosts}
+        mem_extra = {h.host_id: 0.0 for h in ctx.hosts}
+
+        for vm in ctx.queued:
+            best: Optional[Host] = None
+            best_occ = -1.0
+            for h in ctx.hosts:
+                if not h.is_on or not h.meets_requirements(vm.job):
+                    continue
+                occ_after = max(
+                    (h.cpu_reserved(cpu_extra[h.host_id] + vm.cpu_req))
+                    / h.spec.cpu_capacity,
+                    (h.mem_reserved(mem_extra[h.host_id] + vm.mem_req))
+                    / h.spec.mem_mb,
+                )
+                if occ_after > 1.0 + 1e-9:
+                    continue
+                occ_now = max(
+                    h.cpu_reserved(cpu_extra[h.host_id]) / h.spec.cpu_capacity,
+                    h.mem_reserved(mem_extra[h.host_id]) / h.spec.mem_mb,
+                )
+                if occ_now > best_occ:
+                    best_occ = occ_now
+                    best = h
+            if best is None:
+                continue  # stays queued; power manager may boot a node
+            actions.append(Place(vm_id=vm.vm_id, host_id=best.host_id))
+            cpu_extra[best.host_id] += vm.cpu_req
+            mem_extra[best.host_id] += vm.mem_req
+        return actions

@@ -1,0 +1,194 @@
+"""Classic task-mapping heuristics as scheduling policies (§II's lineage).
+
+The paper's related work grounds its design in the immediate-mode mapping
+heuristics of Braun et al. [12] and Armstrong et al. [13]: MET, MCT,
+Min-Min, Max-Min and OLB.  In their original setting these map *tasks* to
+*machines* by estimated completion time; here the estimate is the time
+until a VM placed on a host would finish its job — queue wait is zero
+(space sharing), so completion time is
+
+    ECT(h, j) = creation_time(h) + runtime_penalized_by_contention(h, j).
+
+Contention is approximated from the host's post-placement CPU
+overcommitment ratio, which is exactly what stretches jobs in the engine.
+None of these heuristics is power-aware; they serve as a second family of
+baselines between the paper's RD/RR and BF.
+
+* **MET** — minimum execution time: fastest host class, load-blind;
+* **MCT** — minimum completion time for each task in arrival order;
+* **Min-Min** — among all (task, host) pairs, repeatedly commit the task
+  with the smallest best completion time;
+* **Max-Min** — like Min-Min but commits the *largest* best completion
+  time first (big jobs get first pick);
+* **OLB** — opportunistic load balancing: the least-loaded host,
+  regardless of speed.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Tuple
+
+from repro.cluster.host import Host
+from repro.cluster.vm import Vm
+from repro.scheduling.actions import Action, Place
+from repro.scheduling.base import SchedulingContext, SchedulingPolicy
+
+__all__ = [
+    "MetPolicy",
+    "MctPolicy",
+    "MinMinPolicy",
+    "MaxMinPolicy",
+    "OlbPolicy",
+]
+
+
+class _EctState:
+    """Round-local bookkeeping of hypothetical load for ECT estimates."""
+
+    def __init__(self, hosts) -> None:
+        self.cpu: Dict[int, float] = {}
+        self.mem: Dict[int, float] = {}
+        self.hosts: Dict[int, Host] = {}
+        for h in hosts:
+            if h.is_on:
+                self.cpu[h.host_id] = h.cpu_reserved()
+                self.mem[h.host_id] = h.mem_reserved()
+                self.hosts[h.host_id] = h
+
+    def feasible(self, host: Host, vm: Vm) -> bool:
+        if host.host_id not in self.hosts:
+            return False
+        if not host.meets_requirements(vm.job):
+            return False
+        if self.mem[host.host_id] + vm.mem_req > host.spec.mem_mb + 1e-9:
+            return False
+        return True
+
+    def ect(self, host: Host, vm: Vm) -> float:
+        """Estimated completion time of ``vm`` if placed on ``host`` now.
+
+        The job's runtime stretches by the post-placement overcommitment
+        ratio (demand / capacity, floored at 1) — the share solver's
+        first-order effect.
+        """
+        cpu_after = self.cpu[host.host_id] + vm.cpu_req
+        stretch = max(cpu_after / host.spec.cpu_capacity, 1.0)
+        return host.spec.creation_s + vm.job.runtime_s * stretch
+
+    def commit(self, host: Host, vm: Vm) -> None:
+        self.cpu[host.host_id] += vm.cpu_req
+        self.mem[host.host_id] += vm.mem_req
+
+
+class _EctPolicy(SchedulingPolicy):
+    """Shared scaffolding for the immediate/batch ECT heuristics."""
+
+    supports_migration = False
+
+    def _best_host(self, state: _EctState, ctx: SchedulingContext, vm: Vm) -> Optional[Tuple[Host, float]]:
+        best: Optional[Tuple[Host, float]] = None
+        for h in ctx.hosts:
+            if not state.feasible(h, vm):
+                continue
+            ect = state.ect(h, vm)
+            if best is None or ect < best[1]:
+                best = (h, ect)
+        return best
+
+
+class MetPolicy(_EctPolicy):
+    """MET: minimum execution time — pure speed, blind to load."""
+
+    name = "MET"
+
+    def decide(self, ctx: SchedulingContext) -> List[Action]:
+        state = _EctState(ctx.hosts)
+        actions: List[Action] = []
+        for vm in ctx.queued:
+            best: Optional[Tuple[Host, float]] = None
+            for h in ctx.hosts:
+                if not state.feasible(h, vm):
+                    continue
+                # Execution time only: creation + dedicated runtime.
+                ect = h.spec.creation_s + vm.job.runtime_s
+                if best is None or ect < best[1]:
+                    best = (h, ect)
+            if best is not None:
+                actions.append(Place(vm_id=vm.vm_id, host_id=best[0].host_id))
+                state.commit(best[0], vm)
+        return actions
+
+
+class MctPolicy(_EctPolicy):
+    """MCT: minimum completion time, tasks in arrival order."""
+
+    name = "MCT"
+
+    def decide(self, ctx: SchedulingContext) -> List[Action]:
+        state = _EctState(ctx.hosts)
+        actions: List[Action] = []
+        for vm in ctx.queued:
+            best = self._best_host(state, ctx, vm)
+            if best is not None:
+                actions.append(Place(vm_id=vm.vm_id, host_id=best[0].host_id))
+                state.commit(best[0], vm)
+        return actions
+
+
+class MinMinPolicy(_EctPolicy):
+    """Min-Min: smallest best-completion-time task committed first."""
+
+    name = "Min-Min"
+    _take_max = False
+
+    def decide(self, ctx: SchedulingContext) -> List[Action]:
+        state = _EctState(ctx.hosts)
+        pending: List[Vm] = list(ctx.queued)
+        actions: List[Action] = []
+        while pending:
+            chosen: Optional[Tuple[Vm, Host, float]] = None
+            for vm in pending:
+                best = self._best_host(state, ctx, vm)
+                if best is None:
+                    continue
+                key = best[1]
+                if chosen is None:
+                    chosen = (vm, best[0], key)
+                elif (key > chosen[2]) == self._take_max and key != chosen[2]:
+                    chosen = (vm, best[0], key)
+            if chosen is None:
+                break
+            vm, host, _ = chosen
+            actions.append(Place(vm_id=vm.vm_id, host_id=host.host_id))
+            state.commit(host, vm)
+            pending.remove(vm)
+        return actions
+
+
+class MaxMinPolicy(MinMinPolicy):
+    """Max-Min: largest best-completion-time task committed first."""
+
+    name = "Max-Min"
+    _take_max = True
+
+
+class OlbPolicy(_EctPolicy):
+    """OLB: the least CPU-loaded feasible host, speed-blind."""
+
+    name = "OLB"
+
+    def decide(self, ctx: SchedulingContext) -> List[Action]:
+        state = _EctState(ctx.hosts)
+        actions: List[Action] = []
+        for vm in ctx.queued:
+            best: Optional[Tuple[Host, float]] = None
+            for h in ctx.hosts:
+                if not state.feasible(h, vm):
+                    continue
+                load = state.cpu[h.host_id] / h.spec.cpu_capacity
+                if best is None or load < best[1]:
+                    best = (h, load)
+            if best is not None:
+                actions.append(Place(vm_id=vm.vm_id, host_id=best[0].host_id))
+                state.commit(best[0], vm)
+        return actions

@@ -1,0 +1,178 @@
+"""The score-based scheduling policy.
+
+:class:`ScoreBasedPolicy` packages the matrix builder and the hill-climbing
+solver behind the common :class:`~repro.scheduling.base.SchedulingPolicy`
+interface.  Each scheduling round it:
+
+1. collects the matrix columns — queued VMs, plus running VMs when
+   migration is enabled (VMs with operations in flight are pinned and
+   excluded, per §III-A-3);
+2. computes SLA fulfilments when dynamic enforcement is on;
+3. builds the matrix, runs Algorithm 1, and converts the chosen moves into
+   :class:`~repro.scheduling.actions.Place` / :class:`~repro.scheduling.actions.Migrate`
+   actions.
+
+It also overrides the shutdown ranking hook: idle hosts are ordered by
+their aggregated matrix-row score ("those nodes with a higher score are
+selected to be turned off", §III-C), so e.g. slow-creation nodes power
+down before fast ones.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional
+
+from repro.cluster.host import Host
+from repro.cluster.vm import Vm, VmState
+from repro.scheduling.actions import Action, Migrate, Place
+from repro.scheduling.base import SchedulingContext, SchedulingPolicy
+from repro.scheduling.score.config import ScoreConfig
+from repro.scheduling.score.matrix import ScoreMatrixBuilder
+from repro.scheduling.score.solver import hill_climb
+from repro.sla.monitor import fulfillment
+
+__all__ = ["ScoreBasedPolicy"]
+
+
+class ScoreBasedPolicy(SchedulingPolicy):
+    """The paper's policy, §III.
+
+    Parameters
+    ----------
+    config:
+        Penalty toggles and constants; use the presets
+        :meth:`ScoreConfig.sb0` … :meth:`ScoreConfig.full`.
+    name:
+        Table label; defaults to a preset-style name derived from the
+        config.
+
+    Examples
+    --------
+    >>> from repro.scheduling.score import ScoreConfig
+    >>> policy = ScoreBasedPolicy(ScoreConfig.sb())
+    >>> policy.supports_migration
+    True
+    """
+
+    def __init__(
+        self,
+        config: Optional[ScoreConfig] = None,
+        name: Optional[str] = None,
+        solver: str = "hill_climb",
+        solver_seed: int = 0,
+    ) -> None:
+        self.config = config or ScoreConfig.sb()
+        self.supports_migration = self.config.allow_migration
+        self.solver = solver
+        self.solver_seed = solver_seed
+        if solver not in ("hill_climb", "sa", "tabu"):
+            from repro.errors import ConfigurationError
+
+            raise ConfigurationError(f"unknown solver {solver!r}")
+        self.name = name if name is not None else self._derive_name()
+        self._next_consolidation = 0.0
+
+    def _derive_name(self) -> str:
+        cfg = self.config
+        if cfg.enable_sla or cfg.enable_fault:
+            return "SB-full"
+        if cfg.allow_migration:
+            return "SB"
+        if cfg.enable_conc:
+            return "SB2"
+        if cfg.enable_virt:
+            return "SB1"
+        return "SB0"
+
+    # -------------------------------------------------------------- deciding
+
+    def _columns(self, ctx: SchedulingContext, *, include_running: bool = True) -> List[Vm]:
+        # Filter on *current* state, not the context snapshot's view: the
+        # power manager re-uses the round's context after placements have
+        # been applied, so a VM listed as queued may already be CREATING.
+        cols: List[Vm] = [vm for vm in ctx.queued if vm.state is VmState.QUEUED]
+        if self.config.allow_migration and include_running:
+            cols.extend(vm for vm in ctx.placed if vm.state is VmState.RUNNING)
+        return cols
+
+    def _consolidation_due(self, ctx: SchedulingContext) -> bool:
+        """Whether this round may consider migrations.
+
+        Migration churn is throttled to one consolidation pass per
+        ``consolidation_period_s`` — the paper's "periodically calculates
+        whether to move jobs".  Rounds with SLA-violating VMs always
+        consolidate (dynamic enforcement must be able to relocate them).
+        """
+        if not self.config.allow_migration:
+            return False
+        if ctx.now >= self._next_consolidation:
+            return True
+        if self.config.enable_sla:
+            return any(
+                fulfillment(vm, ctx.now) < 1.0
+                for vm in ctx.placed
+                if vm.state is VmState.RUNNING
+            )
+        return False
+
+    def decide(self, ctx: SchedulingContext) -> List[Action]:
+        consolidate = self._consolidation_due(ctx)
+        if consolidate and self.config.allow_migration:
+            self._next_consolidation = ctx.now + self.config.consolidation_period_s
+        columns = self._columns(ctx, include_running=consolidate)
+        if not columns:
+            return []
+        fulfills: Optional[Dict[int, float]] = None
+        if self.config.enable_sla:
+            fulfills = {vm.vm_id: fulfillment(vm, ctx.now) for vm in columns}
+        builder = ScoreMatrixBuilder(
+            hosts=ctx.hosts,
+            columns=columns,
+            now=ctx.now,
+            config=self.config,
+            fulfillments=fulfills,
+        )
+        if self.solver == "hill_climb":
+            moves = hill_climb(builder)
+        else:
+            from repro.scheduling.score.metaheuristics import solve
+
+            moves = solve(self.solver, builder, seed=self.solver_seed)
+        actions: List[Action] = []
+        for move in moves:
+            if move.from_queue:
+                actions.append(Place(vm_id=move.vm_id, host_id=move.host_id))
+            else:
+                actions.append(Migrate(vm_id=move.vm_id, dst_host_id=move.host_id))
+        return actions
+
+    # ------------------------------------------------------------- shutdown
+
+    def host_shutdown_ranking(
+        self, ctx: SchedulingContext, candidates: List[Host]
+    ) -> List[Host]:
+        """Rank idle hosts by aggregated matrix-row score, worst first."""
+        if not candidates:
+            return []
+        columns = self._columns(ctx)
+        if not columns:
+            # Nothing schedulable: fall back to static preference
+            # (slowest class first — their creations cost the most).
+            return sorted(
+                candidates, key=lambda h: (-h.spec.creation_s, -h.host_id)
+            )
+        fulfills: Optional[Dict[int, float]] = None
+        if self.config.enable_sla:
+            fulfills = {vm.vm_id: fulfillment(vm, ctx.now) for vm in columns}
+        builder = ScoreMatrixBuilder(
+            hosts=ctx.hosts,
+            columns=columns,
+            now=ctx.now,
+            config=self.config,
+            fulfillments=fulfills,
+        )
+        row_of = {h.host_id: i for i, h in enumerate(builder.hosts)}
+        return sorted(
+            candidates,
+            key=lambda h: (-builder.host_row_score(row_of[h.host_id]), -h.host_id),
+        )

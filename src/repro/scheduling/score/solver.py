@@ -1,0 +1,86 @@
+"""Hill-climbing matrix optimization (the paper's Algorithm 1).
+
+Starting from the score matrix normalized by each VM's current cost, the
+solver repeatedly:
+
+1. finds the most negative cell — the single move improving the global
+   score the most,
+2. applies it hypothetically through
+   :meth:`~repro.scheduling.score.matrix.ScoreMatrixBuilder.apply_move`
+   (which freezes the moved column and refreshes the two affected host
+   rows),
+
+until no negative cell remains or the iteration limit is reached — "a
+suboptimal solution much faster and cheaper than evaluating all possible
+configurations".  Freezing moved columns bounds the loop at one move per
+VM per round, matching the real system (an operation starts on the VM
+immediately, pinning it).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List
+
+import numpy as np
+
+from repro.scheduling.score.matrix import ScoreMatrixBuilder
+
+__all__ = ["Move", "hill_climb"]
+
+
+@dataclass(frozen=True)
+class Move:
+    """One scheduling move chosen by the solver."""
+
+    vm_id: int
+    host_id: int
+    #: Score improvement (negative number) this move contributed.
+    gain: float
+    #: Whether the VM came from the queue (placement) or a host (migration).
+    from_queue: bool
+
+
+def hill_climb(builder: ScoreMatrixBuilder, *, max_moves: int | None = None) -> List[Move]:
+    """Run Algorithm 1 on a prepared matrix builder.
+
+    Parameters
+    ----------
+    builder:
+        Freshly constructed matrix state; mutated in place.
+    max_moves:
+        Iteration limit; defaults to the config's ``max_moves`` or
+        ``max(16, #columns)``.
+
+    Returns
+    -------
+    list[Move]
+        Moves in application order (placements typically surface first —
+        their queue-cost normalization makes them the most negative cells).
+    """
+    cfg = builder.config
+    if builder.n_cols == 0 or builder.n_rows == 0:
+        return []
+    limit = max_moves if max_moves is not None else (
+        cfg.max_moves if cfg.max_moves is not None else max(16, builder.n_cols)
+    )
+
+    moves: List[Move] = []
+    for _ in range(limit):
+        diff = builder.diff_matrix()
+        flat = int(np.argmin(diff))
+        row, col = divmod(flat, builder.n_cols)
+        gain = float(diff[row, col])
+        if not np.isfinite(gain) or gain >= -cfg.epsilon:
+            break
+        vm = builder.columns[col]
+        moves.append(
+            Move(
+                vm_id=vm.vm_id,
+                host_id=builder.hosts[row].host_id,
+                gain=gain,
+                from_queue=bool(builder.is_queued[col]),
+            )
+        )
+        builder.apply_move(col, row)
+    return moves

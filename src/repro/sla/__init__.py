@@ -1,0 +1,21 @@
+"""SLA / QoS modelling: deadline satisfaction and runtime fulfilment.
+
+Two distinct quantities, per the paper:
+
+* the **a-posteriori satisfaction** S of a finished job (§V's evaluation
+  metric, computed in :mod:`repro.sla.satisfaction`), and
+* the **runtime SLA fulfilment** ``SLA(h, vm) ∈ [0, 1]`` of an executing
+  VM (the signal feeding the P_SLA penalty and the dynamic enforcement
+  mechanism of §III-A-5, computed in :mod:`repro.sla.monitor`).
+"""
+
+from repro.sla.satisfaction import satisfaction, delay_pct, aggregate
+from repro.sla.monitor import SlaMonitor, fulfillment
+
+__all__ = [
+    "satisfaction",
+    "delay_pct",
+    "aggregate",
+    "SlaMonitor",
+    "fulfillment",
+]

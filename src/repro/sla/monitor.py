@@ -1,0 +1,120 @@
+"""Runtime SLA fulfilment monitoring.
+
+The P_SLA penalty (§III-A-5) needs ``SLA(h, vm)`` — a number in [0, 1]
+describing how well a *running* VM is tracking its deadline.  The paper
+does not give the estimator's formula, only its use, so we define the
+natural one: project the completion time assuming the VM keeps its current
+CPU share, then map the projected execution time onto the satisfaction
+curve (scaled to [0, 1]).
+
+* Projected on-time finish → fulfilment 1.0.
+* Projected finish between the deadline and twice the deadline →
+  fulfilment linearly decaying 1 → 0 (same shape as S).
+* Starved VMs (zero share) → fulfilment 0.
+
+:class:`SlaMonitor` additionally implements the *dynamic SLA enforcement*
+loop: when a VM's fulfilment drops below 1, its resource requirement is
+inflated so the next scheduling round relocates it somewhere with more
+headroom ("we increase the amount of needed resources for that VM ... so
+the VM will be rescheduled in another node with more available resources").
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List
+
+from repro.cluster.vm import Vm, VmState
+from repro.units import clamp
+
+__all__ = ["fulfillment", "SlaMonitor"]
+
+
+def fulfillment(vm: Vm, now: float) -> float:
+    """``SLA(h, vm)`` ∈ [0, 1] for a VM given its current share.
+
+    Queued and creating VMs are assessed on their projected wait: they hold
+    fulfilment 1 until even an immediate full-speed start could not meet
+    the deadline anymore, then decay like running VMs.
+    """
+    job = vm.job
+    tdead = job.allowed_exec_time
+    if vm.state in (VmState.COMPLETED,):
+        return 1.0 if job.satisfaction() >= 100.0 else clamp(job.satisfaction() / 100.0, 0.0, 1.0)
+    if vm.state is VmState.FAILED:
+        return 0.0
+
+    if vm.state in (VmState.RUNNING, VmState.MIGRATING) and vm.share > 0:
+        eta = vm.eta(now)
+        projected_exec = eta - job.submit_time
+    elif vm.state in (VmState.RUNNING, VmState.MIGRATING):
+        return 0.0  # starved
+    else:
+        # QUEUED / CREATING: best case is an immediate full-demand run.
+        remaining = vm.work_remaining / max(vm.job.cpu_pct, 1e-9)
+        projected_exec = (now - job.submit_time) + remaining
+
+    if projected_exec <= tdead:
+        return 1.0
+    return clamp(1.0 - (projected_exec - tdead) / tdead, 0.0, 1.0)
+
+
+@dataclass
+class SlaViolation:
+    """A detected fulfilment drop for one VM."""
+
+    vm_id: int
+    time: float
+    fulfillment: float
+
+
+class SlaMonitor:
+    """Watches running VMs and drives dynamic SLA enforcement.
+
+    Parameters
+    ----------
+    inflation_factor:
+        Multiplier applied to a violating VM's CPU requirement.
+    tolerance:
+        ``TH_SLA``: fulfilment at/below this is an *unacceptable* violation
+        (the score matrix pins it at infinity; we also count it).
+    cooldown_s:
+        Minimum time between two inflations of the same VM, so one long
+        violation does not compound the requirement every round.
+    """
+
+    def __init__(
+        self,
+        inflation_factor: float = 1.25,
+        tolerance: float = 0.5,
+        cooldown_s: float = 600.0,
+    ) -> None:
+        self.inflation_factor = inflation_factor
+        self.tolerance = tolerance
+        self.cooldown_s = cooldown_s
+        self._last_inflation: Dict[int, float] = {}
+        self.violations: List[SlaViolation] = []
+
+    def check(self, vms: List[Vm], now: float, *, enforce: bool = True) -> List[Vm]:
+        """Assess all VMs; inflate violators; return VMs needing a reschedule."""
+        needs_attention: List[Vm] = []
+        for vm in vms:
+            if not vm.is_active:
+                continue
+            f = fulfillment(vm, now)
+            if f >= 1.0:
+                continue
+            self.violations.append(SlaViolation(vm.vm_id, now, f))
+            if not enforce:
+                continue
+            last = self._last_inflation.get(vm.vm_id, -float("inf"))
+            if now - last >= self.cooldown_s and vm.state is VmState.RUNNING:
+                vm.inflate(self.inflation_factor)
+                self._last_inflation[vm.vm_id] = now
+                needs_attention.append(vm)
+        return needs_attention
+
+    @property
+    def violation_count(self) -> int:
+        """Number of fulfilment drops observed (not distinct VMs)."""
+        return len(self.violations)

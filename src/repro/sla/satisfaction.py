@@ -1,0 +1,67 @@
+"""Deadline-based client satisfaction (the paper's §V metric).
+
+    S = 100                                        if Texec <  Tdead
+    S = 100 * max(1 - (Texec - Tdead)/Tdead, 0)    if Texec >= Tdead
+
+where ``Texec`` is wall-clock time from submission to completion and
+``Tdead`` the agreed deadline measured from submission.  Satisfaction hits
+0 when execution takes twice the deadline.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Tuple
+
+import numpy as np
+
+from repro.errors import ConfigurationError
+from repro.workload.job import Job
+
+__all__ = ["satisfaction", "delay_pct", "aggregate"]
+
+
+def satisfaction(texec: float, tdead: float) -> float:
+    """Satisfaction S ∈ [0, 100] for one execution.
+
+    Examples
+    --------
+    >>> satisfaction(100.0, 150.0)
+    100.0
+    >>> satisfaction(225.0, 150.0)
+    50.0
+    >>> satisfaction(300.0, 150.0)
+    0.0
+    """
+    if tdead <= 0:
+        raise ConfigurationError("deadline must be positive")
+    if texec < tdead:
+        return 100.0
+    return 100.0 * max(1.0 - (texec - tdead) / tdead, 0.0)
+
+
+def delay_pct(texec: float, runtime_s: float) -> float:
+    """Execution stretch past the dedicated runtime, in percent.
+
+    Matches the paper's example: deadline factor 1.5, dedicated runtime
+    100 min, execution 300 min → delay 200 %.
+    """
+    if runtime_s <= 0:
+        raise ConfigurationError("runtime must be positive")
+    return 100.0 * max(texec - runtime_s, 0.0) / runtime_s
+
+
+def aggregate(jobs: Iterable[Job]) -> Tuple[float, float]:
+    """Mean (satisfaction, delay%) over completed jobs.
+
+    Jobs that never completed contribute 0 satisfaction and their
+    satisfaction-zero stretch as delay, so dropping jobs cannot *improve*
+    a policy's score.
+    """
+    sats = []
+    delays = []
+    for job in jobs:
+        sats.append(job.satisfaction())
+        delays.append(job.delay_pct())
+    if not sats:
+        return 100.0, 0.0
+    return float(np.mean(sats)), float(np.mean(delays))

@@ -1,0 +1,89 @@
+"""Units and conversion helpers used across the library.
+
+Conventions
+-----------
+
+* **Time** is measured in seconds (floats). Helpers convert to/from
+  minutes, hours, days and weeks.
+* **CPU demand** is measured in *percent of one core*: a VM that needs one
+  full core requests ``100.0``; a 4-way host offers ``400.0``.  This mirrors
+  the paper's Table I, which reports per-VM CPU in ``%CPU`` units where
+  ``400%`` saturates the 4-way test machine.
+* **Memory** is measured in megabytes.
+* **Power** is measured in watts; **energy** in watt-hours (the paper
+  reports kWh for week-long runs and Wh for the validation run).
+"""
+
+from __future__ import annotations
+
+__all__ = [
+    "MINUTE",
+    "HOUR",
+    "DAY",
+    "WEEK",
+    "CPU_PCT_PER_CORE",
+    "seconds",
+    "minutes",
+    "hours",
+    "days",
+    "to_hours",
+    "watt_seconds_to_wh",
+    "wh_to_kwh",
+    "clamp",
+]
+
+#: Seconds in a minute.
+MINUTE: float = 60.0
+#: Seconds in an hour.
+HOUR: float = 3600.0
+#: Seconds in a day.
+DAY: float = 86400.0
+#: Seconds in a week (the paper's evaluation horizon).
+WEEK: float = 7 * DAY
+
+#: CPU demand corresponding to one fully used core.
+CPU_PCT_PER_CORE: float = 100.0
+
+
+def seconds(value: float) -> float:
+    """Identity helper, for symmetric call sites (``seconds(30)``)."""
+    return float(value)
+
+
+def minutes(value: float) -> float:
+    """Convert minutes to seconds."""
+    return float(value) * MINUTE
+
+
+def hours(value: float) -> float:
+    """Convert hours to seconds."""
+    return float(value) * HOUR
+
+
+def days(value: float) -> float:
+    """Convert days to seconds."""
+    return float(value) * DAY
+
+
+def to_hours(value_seconds: float) -> float:
+    """Convert seconds to hours."""
+    return float(value_seconds) / HOUR
+
+
+def watt_seconds_to_wh(value: float) -> float:
+    """Convert an energy integral in W*s to watt-hours."""
+    return float(value) / HOUR
+
+
+def wh_to_kwh(value: float) -> float:
+    """Convert watt-hours to kilowatt-hours."""
+    return float(value) / 1000.0
+
+
+def clamp(value: float, lo: float, hi: float) -> float:
+    """Clamp ``value`` into the closed interval [``lo``, ``hi``]."""
+    if value < lo:
+        return lo
+    if value > hi:
+        return hi
+    return value

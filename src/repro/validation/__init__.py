@@ -1,0 +1,28 @@
+"""Validation substrate: the fine-grained "real testbed" reference model.
+
+The paper validates its event-driven simulator against a real 4-way Xen
+machine running a 1 300-second, 7-task workload (Fig. 1) and derives its
+power model from measurements on the same machine (Table I).  Without the
+machine, we substitute :class:`~repro.validation.testbed.MicroTestbed` — a
+1-second-resolution executor with measurement noise and utilization
+wander, a *different code path* from the coarse DES engine — and compare
+the two exactly the way the paper compares simulator to reality
+(:mod:`repro.validation.compare`).
+"""
+
+from repro.validation.testbed import (
+    MicroTestbed,
+    TestbedTrace,
+    ValidationTask,
+    PAPER_VALIDATION_TASKS,
+)
+from repro.validation.compare import ValidationReport, validate_simulator
+
+__all__ = [
+    "MicroTestbed",
+    "TestbedTrace",
+    "ValidationTask",
+    "PAPER_VALIDATION_TASKS",
+    "ValidationReport",
+    "validate_simulator",
+]

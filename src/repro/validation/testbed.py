@@ -1,0 +1,225 @@
+"""A fine-grained, noisy reference executor ("the real machine").
+
+The paper's Fig. 1 compares the coarse event-driven simulator against a
+real 4-way Xen box executing "a 1300 seconds workload that is composed by
+seven different tasks that explore the most typical situations we can
+have in a real cloud execution".  :class:`MicroTestbed` plays the role of
+that box (DESIGN.md §4):
+
+* **1-second resolution** — like the paper's wattmeter ("resolution of
+  the measurements is below 0.1 Watts with a measured latency of
+  1 second");
+* **measurement noise** — zero-mean Gaussian wobble on every sample plus
+  a slowly wandering utilization level per task (real guests never draw a
+  perfectly flat load);
+* **stochastic creation times** — N(µ = C_c, σ = 2.5), the distribution
+  the authors measured and injected into their own simulator;
+* **Table I power curve** — power depends on total CPU only.
+
+Crucially this is a *different code path* from :mod:`repro.engine`: work
+progresses by per-second accumulation here versus closed-form
+event-to-event integration there, so agreement between the two is
+evidence, not tautology.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from repro.cluster.spec import HostSpec, MEDIUM
+from repro.cluster.xen import compute_shares
+from repro.des.random import RandomStreams
+from repro.errors import ConfigurationError
+
+__all__ = [
+    "ValidationTask",
+    "PAPER_VALIDATION_TASKS",
+    "TestbedTrace",
+    "MicroTestbed",
+]
+
+
+@dataclass(frozen=True)
+class ValidationTask:
+    """One task of the validation workload."""
+
+    task_id: int
+    submit_s: float
+    runtime_s: float
+    cpu_pct: float
+    mem_mb: float = 512.0
+
+    def __post_init__(self) -> None:
+        if self.runtime_s <= 0 or self.cpu_pct <= 0:
+            raise ConfigurationError("task needs positive runtime and cpu")
+
+
+#: The 7-task, ~1300 s validation script: ramp-up, saturation, idle gaps,
+#: and overlapping mixes — "the most typical situations" of §IV-B.
+PAPER_VALIDATION_TASKS: Tuple[ValidationTask, ...] = (
+    ValidationTask(1, submit_s=0.0, runtime_s=260.0, cpu_pct=100.0),
+    ValidationTask(2, submit_s=40.0, runtime_s=200.0, cpu_pct=100.0),
+    ValidationTask(3, submit_s=100.0, runtime_s=150.0, cpu_pct=200.0),
+    ValidationTask(4, submit_s=400.0, runtime_s=300.0, cpu_pct=300.0),
+    ValidationTask(5, submit_s=450.0, runtime_s=240.0, cpu_pct=100.0),
+    ValidationTask(6, submit_s=800.0, runtime_s=200.0, cpu_pct=400.0),
+    ValidationTask(7, submit_s=1100.0, runtime_s=150.0, cpu_pct=200.0),
+)
+
+
+@dataclass
+class TestbedTrace:
+    """Per-second power samples of a testbed run."""
+
+    times: List[float]
+    watts: List[float]
+    finish_times: dict
+
+    @property
+    def energy_wh(self) -> float:
+        """Total energy of the run in watt-hours (1 s sampling)."""
+        return float(sum(self.watts)) / 3600.0
+
+    @property
+    def duration_s(self) -> float:
+        """Length of the sampled run."""
+        return float(len(self.watts))
+
+
+class MicroTestbed:
+    """The fine-grained "real machine" model.
+
+    Parameters
+    ----------
+    spec:
+        The machine (defaults to the paper's 4-way medium-class box).
+    seed:
+        Seed of the noise/creation-jitter streams.
+    noise_w:
+        Std-dev of the per-sample measurement noise in watts.
+    wander:
+        Amplitude of each task's slow utilization wander (fraction of its
+        demand; guests are never perfectly flat).
+    creation_sigma_s:
+        Std-dev of creation times around C_c (paper: 2.5 s).
+    background_w:
+        Mean extra draw from host background activity (dom0 daemons,
+        monitoring, fans ramping) present on a real machine but *not*
+        modelled by the coarse simulator — the source of the paper's
+        systematic ~2.4 % simulator underestimation.  Only drawn while
+        the machine has guests or operations (an idle box sits at its
+        calibrated idle wattage, which both models share).
+    """
+
+    def __init__(
+        self,
+        spec: Optional[HostSpec] = None,
+        seed: int = 7,
+        noise_w: float = 2.0,
+        wander: float = 0.05,
+        creation_sigma_s: float = 2.5,
+        background_w: float = 8.0,
+    ) -> None:
+        self.spec = spec or HostSpec(host_id=0, node_class=MEDIUM)
+        self.noise_w = float(noise_w)
+        self.wander = float(wander)
+        self.creation_sigma_s = float(creation_sigma_s)
+        self.background_w = float(background_w)
+        self._streams = RandomStreams(seed=seed)
+
+    def run(
+        self,
+        tasks: Sequence[ValidationTask] = PAPER_VALIDATION_TASKS,
+        horizon_s: Optional[float] = None,
+    ) -> TestbedTrace:
+        """Execute the task script and return the sampled power trace."""
+        rng = self._streams.get("testbed")
+        capacity = self.spec.cpu_capacity
+        model = self.spec.power_model
+        cc = self.spec.creation_s
+
+        creation = {
+            t.task_id: max(float(rng.normal(cc, self.creation_sigma_s)), 1.0)
+            for t in tasks
+        }
+        # Per-task slow wander: an AR(1)-like multiplicative level.
+        level = {t.task_id: 1.0 for t in tasks}
+        work_done = {t.task_id: 0.0 for t in tasks}
+        work_needed = {t.task_id: t.runtime_s * t.cpu_pct for t in tasks}
+        finished_at: dict = {}
+
+        if horizon_s is None:
+            horizon_s = max(t.submit_s + t.runtime_s for t in tasks) * 2.0
+
+        times: List[float] = []
+        watts: List[float] = []
+        second = 0
+        while second < horizon_s:
+            t = float(second)
+            demands: List[float] = []
+            keys: List[Tuple[str, int]] = []
+            for task in tasks:
+                tid = task.task_id
+                if tid in finished_at or t < task.submit_s:
+                    continue
+                if t < task.submit_s + creation[tid]:
+                    # Creation overhead: dom0 burns a core building the VM.
+                    demands.append(self.spec.creation_cpu_pct)
+                    keys.append(("create", tid))
+                else:
+                    # Slow wander around the nominal demand.
+                    level[tid] = float(
+                        np.clip(
+                            level[tid] + rng.normal(0.0, self.wander / 4),
+                            1.0 - self.wander,
+                            1.0 + self.wander,
+                        )
+                    )
+                    demands.append(min(task.cpu_pct * level[tid], capacity))
+                    keys.append(("run", tid))
+
+            shares = compute_shares(capacity, demands)
+            used = float(shares.sum())
+            for (kind, tid), share in zip(keys, shares):
+                if kind == "run":
+                    work_done[tid] += float(share)
+                    if work_done[tid] >= work_needed[tid]:
+                        finished_at[tid] = t + 1.0
+
+            sample = model.power(used) + float(rng.normal(0.0, self.noise_w))
+            if keys:  # guests/operations active: background activity too
+                sample += abs(float(rng.normal(self.background_w, self.background_w / 4)))
+            times.append(t)
+            watts.append(max(sample, 0.0))
+            second += 1
+
+            if len(finished_at) == len(tasks) and not any(
+                task.submit_s > t for task in tasks
+            ):
+                break
+
+        return TestbedTrace(times=times, watts=watts, finish_times=finished_at)
+
+    # ----------------------------------------------------------- Table I
+
+    def steady_state_power(
+        self, vm_loads: Sequence[float], seconds: int = 60
+    ) -> float:
+        """Mean measured power with VMs at the given steady CPU loads.
+
+        Regenerates Table I: ``vm_loads`` is the per-VM %CPU column (e.g.
+        ``[100, 200]`` for the "1+2" row); the result depends only on the
+        *sum*, which is the paper's finding.
+        """
+        rng = self._streams.get("testbed.steady")
+        capacity = self.spec.cpu_capacity
+        model = self.spec.power_model
+        samples = []
+        for _ in range(seconds):
+            shares = compute_shares(capacity, list(vm_loads))
+            watts = model.power(float(shares.sum()))
+            samples.append(watts + float(rng.normal(0.0, self.noise_w)))
+        return float(np.mean(samples))

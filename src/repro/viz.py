@@ -1,0 +1,107 @@
+"""Terminal-friendly visualization helpers.
+
+The paper's figures are surfaces (Figs. 2-3) and time series (Fig. 1).
+Without a plotting stack, these helpers render them as text: a shaded
+block heat map for λ-threshold surfaces and a braille-free sparkline for
+power traces.  Both are deliberately dependency-free and used by the CLI
+and the examples.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Sequence, Tuple
+
+import numpy as np
+
+from repro.errors import ConfigurationError
+
+__all__ = ["sparkline", "heatmap", "series_panel"]
+
+_SPARK_CHARS = " ▁▂▃▄▅▆▇█"
+_SHADE_CHARS = " ░▒▓█"
+
+
+def sparkline(values: Sequence[float], width: int = 80) -> str:
+    """A one-line sparkline of a series, resampled to ``width`` columns.
+
+    Examples
+    --------
+    >>> sparkline([0, 1, 2, 3], width=4)
+    ' ▃▅█'
+    """
+    if width < 1:
+        raise ConfigurationError("width must be >= 1")
+    data = np.asarray(list(values), dtype=float)
+    if data.size == 0:
+        return ""
+    # Resample by block averaging.
+    idx = np.linspace(0, data.size, width + 1).astype(int)
+    cols = [data[a:b].mean() if b > a else data[min(a, data.size - 1)]
+            for a, b in zip(idx[:-1], idx[1:])]
+    lo, hi = float(np.min(cols)), float(np.max(cols))
+    span = hi - lo
+    out = []
+    for v in cols:
+        frac = 0.0 if span <= 0 else (v - lo) / span
+        out.append(_SPARK_CHARS[round(frac * (len(_SPARK_CHARS) - 1))])
+    return "".join(out)
+
+
+def heatmap(
+    cells: Dict[Tuple[float, float], float],
+    *,
+    row_label: str = "y",
+    col_label: str = "x",
+    fmt: str = ".0f",
+    invert: bool = False,
+) -> str:
+    """A shaded grid of (row, col) -> value with numeric annotations.
+
+    ``invert=True`` shades *low* values darkest (useful when low = good,
+    e.g. power consumption).
+    """
+    if not cells:
+        return "(empty)"
+    rows = sorted({r for r, _ in cells})
+    cols = sorted({c for _, c in cells})
+    values = [v for v in cells.values()]
+    lo, hi = min(values), max(values)
+    span = hi - lo
+
+    def shade(v: float) -> str:
+        frac = 0.0 if span <= 0 else (v - lo) / span
+        if invert:
+            frac = 1.0 - frac
+        return _SHADE_CHARS[round(frac * (len(_SHADE_CHARS) - 1))]
+
+    width = max(len(format(v, fmt)) for v in values) + 2
+    lines = [
+        f"{row_label}\\{col_label}".ljust(10)
+        + "".join(format(c, "g").rjust(width) for c in cols)
+    ]
+    for r in rows:
+        cells_txt = []
+        for c in cols:
+            v = cells.get((r, c))
+            if v is None:
+                cells_txt.append("·".rjust(width))
+            else:
+                cells_txt.append((shade(v) + format(v, fmt)).rjust(width))
+        lines.append(format(r, "g").ljust(10) + "".join(cells_txt))
+    return "\n".join(lines)
+
+
+def series_panel(
+    labelled_series: Sequence[Tuple[str, Sequence[float]]],
+    width: int = 72,
+) -> str:
+    """Stacked labelled sparklines sharing a width (Fig. 1-style panel)."""
+    label_w = max((len(label) for label, _ in labelled_series), default=0)
+    lines = []
+    for label, series in labelled_series:
+        data = list(series)
+        suffix = ""
+        if data:
+            suffix = f"  [{min(data):.0f}..{max(data):.0f}]"
+        lines.append(f"{label.rjust(label_w)} {sparkline(data, width)}{suffix}")
+    return "\n".join(lines)

@@ -1,0 +1,55 @@
+"""Workload substrate: HPC jobs, traces, and generators.
+
+The paper drives its evaluation with one week of the Grid5000 trace
+(Grid Workloads Archive, week of Monday 2007-10-01).  That trace is not
+redistributable here, so this package provides, per DESIGN.md §4:
+
+* the job model with deadline-based SLAs (:mod:`repro.workload.job`),
+* a trace container with scaling/slicing utilities
+  (:mod:`repro.workload.trace`),
+* parsers for the Standard Workload Format and the Grid Workloads Format so
+  the real trace drops in when available (:mod:`repro.workload.swf`,
+  :mod:`repro.workload.gwf`),
+* a seeded synthetic generator reproducing the statistical shape of a
+  Grid5000 week (:mod:`repro.workload.synthetic`), and
+* deadline assignment mirroring the paper's factor-1.2..2 rule
+  (:mod:`repro.workload.deadlines`).
+"""
+
+from repro.workload.job import Job, JobState
+from repro.workload.trace import Trace, TraceStats
+from repro.workload.synthetic import Grid5000WeekGenerator, SyntheticConfig
+from repro.workload.deadlines import DeadlinePolicy, assign_deadlines
+from repro.workload.swf import read_swf, write_swf
+from repro.workload.gwf import read_gwf
+from repro.workload.models import HeavyTailModel, LublinFeitelsonModel
+from repro.workload.analysis import (
+    demand_timeline,
+    hourly_arrival_counts,
+    peak_demand,
+    runtime_histogram,
+    utilization_against,
+    width_histogram,
+)
+
+__all__ = [
+    "Job",
+    "JobState",
+    "Trace",
+    "TraceStats",
+    "Grid5000WeekGenerator",
+    "SyntheticConfig",
+    "DeadlinePolicy",
+    "assign_deadlines",
+    "read_swf",
+    "write_swf",
+    "read_gwf",
+    "LublinFeitelsonModel",
+    "HeavyTailModel",
+    "demand_timeline",
+    "hourly_arrival_counts",
+    "peak_demand",
+    "runtime_histogram",
+    "utilization_against",
+    "width_histogram",
+]

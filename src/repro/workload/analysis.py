@@ -1,0 +1,112 @@
+"""Workload characterization utilities.
+
+Tools for inspecting a trace before (or instead of) simulating it:
+
+* :func:`demand_timeline` — the offered concurrent core demand over time,
+  the quantity the datacenter must track (Fig. 2/3's dynamics are largely
+  this curve filtered through the λ controller);
+* :func:`hourly_arrival_counts` — the diurnal arrival profile;
+* :func:`runtime_histogram` / :func:`width_histogram` — distribution
+  summaries used to compare the synthetic generator with archive logs;
+* :func:`peak_demand` — the sizing number for capacity planning.
+
+Everything is pure numpy over the trace — no simulation involved.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Sequence, Tuple
+
+import numpy as np
+
+from repro.errors import ConfigurationError
+from repro.units import HOUR
+from repro.workload.trace import Trace
+
+__all__ = [
+    "demand_timeline",
+    "hourly_arrival_counts",
+    "runtime_histogram",
+    "width_histogram",
+    "peak_demand",
+    "utilization_against",
+]
+
+
+def demand_timeline(trace: Trace, step_s: float = 300.0) -> Tuple[np.ndarray, np.ndarray]:
+    """Offered demand in cores sampled every ``step_s`` seconds.
+
+    A job contributes its width from submission until
+    ``submit + runtime`` (its dedicated-execution window — queueing and
+    contention are a *simulation* outcome, not a property of the trace).
+    """
+    if step_s <= 0:
+        raise ConfigurationError("step must be positive")
+    if len(trace) == 0:
+        return np.zeros(0), np.zeros(0)
+    end = max(j.submit_time + j.runtime_s for j in trace)
+    n = int(np.ceil(end / step_s)) + 1
+    deltas = np.zeros(n + 1)
+    for job in trace:
+        start_idx = int(job.submit_time // step_s)
+        stop_idx = min(int((job.submit_time + job.runtime_s) // step_s) + 1, n)
+        deltas[start_idx] += job.cores
+        deltas[stop_idx] -= job.cores
+    demand = np.cumsum(deltas[:-1])
+    times = np.arange(n) * step_s
+    return times, demand
+
+
+def hourly_arrival_counts(trace: Trace) -> np.ndarray:
+    """Arrivals per hour-of-day (length 24), summed over all days."""
+    counts = np.zeros(24, dtype=int)
+    for job in trace:
+        hour = int((job.submit_time % 86400.0) // HOUR)
+        counts[hour] += 1
+    return counts
+
+
+def runtime_histogram(
+    trace: Trace, edges_s: Sequence[float] = (0, 300, 900, 3600, 14400, 86400, float("inf"))
+) -> Dict[str, int]:
+    """Job counts per runtime bucket (labelled by the bucket bounds)."""
+    edges = list(edges_s)
+    if sorted(edges) != edges or len(edges) < 2:
+        raise ConfigurationError("edges must be ascending with >= 2 entries")
+    labels = []
+    for lo, hi in zip(edges[:-1], edges[1:]):
+        hi_txt = "inf" if hi == float("inf") else f"{hi / 60:.0f}m"
+        labels.append(f"{lo / 60:.0f}m-{hi_txt}")
+    counts = {label: 0 for label in labels}
+    for job in trace:
+        for (lo, hi), label in zip(zip(edges[:-1], edges[1:]), labels):
+            if lo <= job.runtime_s < hi:
+                counts[label] += 1
+                break
+    return counts
+
+
+def width_histogram(trace: Trace) -> Dict[int, int]:
+    """Job counts per width (rounded cores)."""
+    counts: Dict[int, int] = {}
+    for job in trace:
+        w = max(1, round(job.cores))
+        counts[w] = counts.get(w, 0) + 1
+    return dict(sorted(counts.items()))
+
+
+def peak_demand(trace: Trace, step_s: float = 300.0) -> float:
+    """Maximum concurrent offered demand, in cores."""
+    _, demand = demand_timeline(trace, step_s)
+    return float(demand.max()) if demand.size else 0.0
+
+
+def utilization_against(trace: Trace, total_cores: float, step_s: float = 300.0) -> float:
+    """Mean offered utilization of a datacenter with ``total_cores``."""
+    if total_cores <= 0:
+        raise ConfigurationError("total_cores must be positive")
+    _, demand = demand_timeline(trace, step_s)
+    if demand.size == 0:
+        return 0.0
+    return float(demand.mean() / total_cores)

@@ -1,0 +1,103 @@
+"""Tests for the adaptive λ controller (§VI's dynamic thresholds)."""
+
+import pytest
+
+from repro.cluster.host import Host, HostState
+from repro.cluster.spec import ClusterSpec, HostSpec
+from repro.cluster.vm import Vm, VmState
+from repro.engine.config import EngineConfig
+from repro.engine.datacenter import DatacenterSimulation
+from repro.errors import ConfigurationError
+from repro.scheduling.adaptive import AdaptivePowerManager
+from repro.scheduling.baselines import BackfillingPolicy
+from repro.scheduling.base import SchedulingContext
+from repro.scheduling.power_manager import PowerManagerConfig
+from repro.units import HOUR
+from repro.workload.job import Job
+from repro.workload.synthetic import Grid5000WeekGenerator, SyntheticConfig
+
+
+def ctx_for(hosts, queued=(), placed=(), now=0.0):
+    return SchedulingContext(now=now, hosts=hosts, queued=tuple(queued),
+                             placed=tuple(placed))
+
+
+def make_vm(vm_id=1, runtime=1000.0, factor=1.2, submit=0.0):
+    job = Job(job_id=vm_id, submit_time=submit, runtime_s=runtime,
+              cpu_pct=100.0, mem_mb=256.0, deadline_factor=factor)
+    return Vm(job)
+
+
+class TestAdaptation:
+    def test_validation(self):
+        with pytest.raises(ConfigurationError):
+            AdaptivePowerManager(lambda_min_floor=0.8, lambda_min_ceil=0.5)
+        with pytest.raises(ConfigurationError):
+            AdaptivePowerManager(step=0.0)
+
+    def test_relaxes_when_quiet(self):
+        pm = AdaptivePowerManager(
+            PowerManagerConfig(lambda_min=0.30, lambda_max=0.90),
+            step=0.05, period_s=100.0,
+        )
+        hosts = [Host(HostSpec(host_id=0), initial_state=HostState.ON)]
+        pm.control(ctx_for(hosts, now=0.0), BackfillingPolicy())
+        assert pm.config.lambda_min == pytest.approx(0.35)
+
+    def test_tightens_under_risk(self):
+        pm = AdaptivePowerManager(
+            PowerManagerConfig(lambda_min=0.30, lambda_max=0.90),
+            step=0.05, period_s=100.0,
+        )
+        hosts = [Host(HostSpec(host_id=0), initial_state=HostState.ON)]
+        # A queued VM that has already waited past any chance of meeting
+        # its deadline: at-risk signal.
+        stale = make_vm(runtime=1000.0, factor=1.2, submit=0.0)
+        pm.control(ctx_for(hosts, queued=[stale], now=1000.0), BackfillingPolicy())
+        assert pm.config.lambda_min == pytest.approx(0.25)
+
+    def test_respects_bounds(self):
+        pm = AdaptivePowerManager(
+            PowerManagerConfig(lambda_min=0.30, lambda_max=0.90),
+            lambda_min_floor=0.28, lambda_min_ceil=0.32,
+            step=0.10, period_s=1.0,
+        )
+        hosts = [Host(HostSpec(host_id=0), initial_state=HostState.ON)]
+        for k in range(5):
+            pm.control(ctx_for(hosts, now=float(k * 10)), BackfillingPolicy())
+        assert pm.config.lambda_min <= 0.32
+
+    def test_period_throttles_adjustments(self):
+        pm = AdaptivePowerManager(period_s=1000.0, step=0.05)
+        hosts = [Host(HostSpec(host_id=0), initial_state=HostState.ON)]
+        pm.control(ctx_for(hosts, now=0.0), BackfillingPolicy())
+        pm.control(ctx_for(hosts, now=10.0), BackfillingPolicy())
+        assert len(pm.adjustments) == 1
+
+    def test_never_crosses_lambda_max(self):
+        pm = AdaptivePowerManager(
+            PowerManagerConfig(lambda_min=0.80, lambda_max=0.90),
+            lambda_min_ceil=0.95, step=0.20, period_s=1.0,
+        )
+        hosts = [Host(HostSpec(host_id=0), initial_state=HostState.ON)]
+        pm.control(ctx_for(hosts, now=0.0), BackfillingPolicy())
+        assert pm.config.lambda_min < pm.config.lambda_max
+
+
+class TestEndToEnd:
+    def test_engine_accepts_adaptive_manager(self):
+        trace = Grid5000WeekGenerator(
+            SyntheticConfig(horizon_s=4 * HOUR, base_rate_per_hour=25.0,
+                            night_fraction=0.6), seed=5
+        ).generate()
+        pm = AdaptivePowerManager(period_s=600.0)
+        engine = DatacenterSimulation(
+            cluster=ClusterSpec.homogeneous(10),
+            policy=BackfillingPolicy(),
+            trace=trace,
+            power_manager=pm,
+            config=EngineConfig(seed=5),
+        )
+        result = engine.run()
+        assert result.n_completed == result.n_jobs
+        assert len(pm.adjustments) >= 1

@@ -1,0 +1,132 @@
+"""Unit and property tests for time-weighted monitors (:mod:`repro.des.monitor`)."""
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.des.monitor import CounterSet, SeriesRecorder, TimeWeightedValue
+
+
+class TestTimeWeightedValue:
+    def test_constant_signal_integral(self):
+        twv = TimeWeightedValue(0.0, 5.0)
+        twv.finish(10.0)
+        assert twv.integral == pytest.approx(50.0)
+        assert twv.mean == pytest.approx(5.0)
+
+    def test_step_change(self):
+        twv = TimeWeightedValue(0.0, 2.0)
+        twv.update(10.0, 4.0)
+        twv.finish(20.0)
+        assert twv.integral == pytest.approx(60.0)
+        assert twv.mean == pytest.approx(3.0)
+
+    def test_add_increments(self):
+        twv = TimeWeightedValue(0.0, 1.0)
+        twv.add(5.0, 2.0)
+        assert twv.value == 3.0
+        twv.finish(10.0)
+        assert twv.integral == pytest.approx(1 * 5 + 3 * 5)
+
+    def test_min_max_track_extremes(self):
+        twv = TimeWeightedValue(0.0, 5.0)
+        twv.update(1.0, -2.0)
+        twv.update(2.0, 9.0)
+        assert twv.min == -2.0
+        assert twv.max == 9.0
+
+    def test_mean_zero_before_time_elapses(self):
+        assert TimeWeightedValue(0.0, 7.0).mean == 0.0
+
+    def test_time_going_backwards_rejected(self):
+        twv = TimeWeightedValue(5.0, 1.0)
+        with pytest.raises(ValueError):
+            twv.update(4.0, 2.0)
+
+    def test_zero_duration_updates_are_free(self):
+        twv = TimeWeightedValue(0.0, 1.0)
+        twv.update(5.0, 2.0)
+        twv.update(5.0, 3.0)  # instantaneous re-update
+        twv.finish(10.0)
+        assert twv.integral == pytest.approx(1 * 5 + 3 * 5)
+
+    @given(
+        st.lists(
+            st.tuples(
+                st.floats(min_value=0.001, max_value=100.0),
+                st.floats(min_value=-1e6, max_value=1e6),
+            ),
+            min_size=1,
+            max_size=50,
+        )
+    )
+    def test_integral_matches_manual_sum(self, steps):
+        """Property: integral equals the sum of value*dt rectangles."""
+        twv = TimeWeightedValue(0.0, 0.0)
+        t = 0.0
+        expected = 0.0
+        value = 0.0
+        for dt, v in steps:
+            expected += value * dt
+            t += dt
+            twv.update(t, v)
+            value = v
+        assert twv.integral == pytest.approx(expected, rel=1e-9, abs=1e-6)
+
+    @given(
+        st.lists(st.floats(min_value=0.0, max_value=10.0), min_size=1, max_size=30),
+        st.floats(min_value=0.001, max_value=5.0),
+    )
+    def test_mean_bounded_by_min_max(self, values, dt):
+        """Property: the time-weighted mean lies within [min, max]."""
+        twv = TimeWeightedValue(0.0, values[0])
+        t = 0.0
+        for v in values[1:]:
+            t += dt
+            twv.update(t, v)
+        twv.finish(t + dt)
+        assert twv.min - 1e-9 <= twv.mean <= twv.max + 1e-9
+
+
+class TestSeriesRecorder:
+    def test_steps_record_the_full_history(self):
+        rec = SeriesRecorder(0.0, 1.0)
+        rec.update(2.0, 3.0)
+        rec.update(4.0, 5.0)
+        times, values = rec.steps()
+        assert times == [0.0, 2.0, 4.0]
+        assert values == [1.0, 3.0, 5.0]
+
+    def test_sample_returns_piecewise_constant_values(self):
+        rec = SeriesRecorder(0.0, 1.0)
+        rec.update(10.0, 2.0)
+        rec.update(20.0, 3.0)
+        assert rec.sample([0.0, 5.0, 10.0, 15.0, 25.0]) == [1.0, 1.0, 2.0, 2.0, 3.0]
+
+    def test_sample_at_exact_step_time_uses_new_value(self):
+        rec = SeriesRecorder(0.0, 0.0)
+        rec.update(5.0, 7.0)
+        assert rec.sample([5.0]) == [7.0]
+
+    def test_integral_still_accumulates(self):
+        rec = SeriesRecorder(0.0, 2.0)
+        rec.update(5.0, 0.0)
+        rec.finish(10.0)
+        assert rec.integral == pytest.approx(10.0)
+
+
+class TestCounterSet:
+    def test_missing_counter_reads_zero(self):
+        assert CounterSet()["nope"] == 0
+
+    def test_incr_accumulates(self):
+        c = CounterSet()
+        c.incr("x")
+        c.incr("x", 4)
+        assert c["x"] == 5
+
+    def test_as_dict_returns_copy(self):
+        c = CounterSet()
+        c.incr("x")
+        d = c.as_dict()
+        d["x"] = 99
+        assert c["x"] == 1

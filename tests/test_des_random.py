@@ -1,0 +1,54 @@
+"""Tests for deterministic named random streams (:mod:`repro.des.random`)."""
+
+import numpy as np
+
+from repro.des import RandomStreams
+
+
+class TestRandomStreams:
+    def test_same_name_returns_same_generator(self):
+        streams = RandomStreams(seed=1)
+        assert streams.get("a") is streams.get("a")
+
+    def test_different_names_are_independent(self):
+        streams = RandomStreams(seed=1)
+        a = streams.get("a").random(100)
+        b = streams.get("b").random(100)
+        assert not np.allclose(a, b)
+
+    def test_same_seed_reproduces_sequence(self):
+        x = RandomStreams(seed=7).get("workload").random(50)
+        y = RandomStreams(seed=7).get("workload").random(50)
+        assert np.array_equal(x, y)
+
+    def test_sequence_independent_of_creation_order(self):
+        s1 = RandomStreams(seed=7)
+        s1.get("other")  # created first
+        x = s1.get("workload").random(10)
+        s2 = RandomStreams(seed=7)
+        y = s2.get("workload").random(10)  # created without "other"
+        assert np.array_equal(x, y)
+
+    def test_different_seeds_differ(self):
+        x = RandomStreams(seed=1).get("a").random(20)
+        y = RandomStreams(seed=2).get("a").random(20)
+        assert not np.allclose(x, y)
+
+    def test_child_streams_deterministic_and_distinct(self):
+        s = RandomStreams(seed=3)
+        a0 = s.child("failures", 0).random(10)
+        a0_again = RandomStreams(seed=3).child("failures", 0).random(10)
+        a1 = s.child("failures", 1).random(10)
+        assert np.array_equal(a0, a0_again)
+        assert not np.allclose(a0, a1)
+
+    def test_fork_changes_family(self):
+        base = RandomStreams(seed=5)
+        forked = base.fork(1)
+        assert forked.seed != base.seed
+        x = base.get("a").random(10)
+        y = forked.get("a").random(10)
+        assert not np.allclose(x, y)
+
+    def test_seed_property(self):
+        assert RandomStreams(seed=99).seed == 99

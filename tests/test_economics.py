@@ -1,0 +1,162 @@
+"""Tests for the economics layer (pricing, accounting, optimization)."""
+
+import pytest
+
+from repro.cluster.spec import ClusterSpec
+from repro.economics import (
+    EconomicOptimizer,
+    PricingModel,
+    ProfitStatement,
+    TimeOfUseTariff,
+    assess,
+)
+from repro.economics.accounting import energy_cost, revenue_of_jobs
+from repro.engine.config import EngineConfig
+from repro.engine.datacenter import DatacenterSimulation
+from repro.engine.results import SimulationResult
+from repro.errors import ConfigurationError
+from repro.scheduling.baselines import BackfillingPolicy
+from repro.units import HOUR
+from repro.workload.job import Job, JobState
+from repro.workload.synthetic import Grid5000WeekGenerator, SyntheticConfig
+from repro.workload.trace import Trace
+
+
+def finished_job(job_id=1, runtime=3600.0, cores=2, stretch=1.0, factor=1.5):
+    job = Job(job_id=job_id, submit_time=0.0, runtime_s=runtime,
+              cpu_pct=cores * 100.0, mem_mb=256.0, deadline_factor=factor)
+    job.state = JobState.COMPLETED
+    job.finish_time = runtime * stretch
+    return job
+
+
+class TestTariffs:
+    def test_peak_offpeak_windows(self):
+        t = TimeOfUseTariff(offpeak_eur_per_kwh=0.05, peak_eur_per_kwh=0.20,
+                            peak_start_h=8.0, peak_end_h=20.0)
+        assert t.price_at(3 * HOUR) == 0.05     # 03:00
+        assert t.price_at(12 * HOUR) == 0.20    # noon
+        assert t.price_at(23 * HOUR) == 0.05    # 23:00
+
+    def test_mean_price(self):
+        t = TimeOfUseTariff(offpeak_eur_per_kwh=0.10, peak_eur_per_kwh=0.20,
+                            peak_start_h=0.0, peak_end_h=12.0)
+        assert t.mean_price == pytest.approx(0.15)
+
+    def test_invalid_window_rejected(self):
+        with pytest.raises(ConfigurationError):
+            TimeOfUseTariff(peak_start_h=20.0, peak_end_h=8.0)
+
+    def test_negative_price_rejected(self):
+        with pytest.raises(ConfigurationError):
+            PricingModel(eur_per_core_hour=-1.0)
+
+
+class TestRevenue:
+    def test_on_time_job_earns_full_contract(self):
+        pricing = PricingModel(eur_per_core_hour=0.10)
+        job = finished_job(runtime=3600.0, cores=2, stretch=1.0)
+        # 2 core-hours at 0.10 at S=100.
+        assert revenue_of_jobs([job], pricing) == pytest.approx(0.20)
+
+    def test_very_late_job_earns_nothing(self):
+        pricing = PricingModel(eur_per_core_hour=0.10)
+        job = finished_job(stretch=5.0, factor=1.5)  # way past 2x deadline
+        assert revenue_of_jobs([job], pricing) == 0.0
+
+    def test_half_satisfied_job_earns_half(self):
+        pricing = PricingModel(eur_per_core_hour=0.10)
+        job = finished_job(runtime=3600.0, cores=1, stretch=2.25, factor=1.5)
+        assert job.satisfaction() == pytest.approx(50.0)
+        assert revenue_of_jobs([job], pricing) == pytest.approx(0.05)
+
+    def test_invalid_satisfaction_rejected(self):
+        with pytest.raises(ConfigurationError):
+            PricingModel().job_revenue(1.0, 150.0)
+
+
+class TestEnergyCost:
+    def _result(self, kwh):
+        return SimulationResult(
+            policy="X", lambda_min=0.3, lambda_max=0.9, avg_working=0,
+            avg_online=0, cpu_hours=0, energy_kwh=kwh, satisfaction=100.0,
+            delay_pct=0.0, migrations=0, horizon_s=86400.0,
+        )
+
+    def test_flat_tariff(self):
+        pricing = PricingModel(flat_eur_per_kwh=0.10)
+        assert energy_cost(self._result(100.0), pricing) == pytest.approx(10.0)
+
+    def test_time_of_use_integration(self):
+        tariff = TimeOfUseTariff(offpeak_eur_per_kwh=0.0,
+                                 peak_eur_per_kwh=1.0,
+                                 peak_start_h=0.0, peak_end_h=12.0)
+        pricing = PricingModel(energy=tariff)
+        # 1000 W for the whole first day: 12 kWh billed, 12 kWh free.
+        steps = ([0.0], [1000.0])
+        cost = energy_cost(self._result(24.0), pricing, steps)
+        assert cost == pytest.approx(12.0, rel=0.01)
+
+
+class TestAssess:
+    def _engine(self):
+        trace = Grid5000WeekGenerator(
+            SyntheticConfig(horizon_s=4 * HOUR, base_rate_per_hour=20.0,
+                            night_fraction=0.6), seed=3
+        ).generate()
+        return DatacenterSimulation(
+            cluster=ClusterSpec.homogeneous(6),
+            policy=BackfillingPolicy(),
+            trace=trace,
+            config=EngineConfig(seed=3),
+        )
+
+    def test_statement_balances(self):
+        engine = self._engine()
+        statement = assess(engine, PricingModel())
+        assert statement.profit_eur == pytest.approx(
+            statement.revenue_eur - statement.energy_cost_eur
+        )
+        assert statement.n_jobs == len(engine.trace)
+        assert statement.revenue_eur > 0
+        assert statement.energy_cost_eur > 0
+
+    def test_assess_is_idempotent(self):
+        engine = self._engine()
+        s1 = assess(engine, PricingModel())
+        s2 = assess(engine, PricingModel())
+        assert s1 == s2
+
+    def test_str_renders(self):
+        engine = self._engine()
+        assert "profit" in str(assess(engine, PricingModel()))
+
+
+class TestOptimizer:
+    def test_search_ranks_by_profit(self):
+        trace = Grid5000WeekGenerator(
+            SyntheticConfig(horizon_s=4 * HOUR, base_rate_per_hour=20.0,
+                            night_fraction=0.6), seed=3
+        ).generate()
+        optimizer = EconomicOptimizer(
+            ClusterSpec.homogeneous(8), trace,
+            PricingModel(), EngineConfig(seed=3),
+        )
+        outcome = optimizer.search(
+            lambda_mins=(0.30, 0.60), lambda_maxs=(0.90,),
+            cost_pairs=((20.0, 40.0),),
+        )
+        assert len(outcome.candidates) == 2
+        best = outcome.best
+        assert best.profit_eur == max(c.profit_eur for c in outcome.candidates)
+        assert "λ" in outcome.table()
+
+    def test_empty_grid_rejected(self):
+        trace = Trace([finished_job()])
+        optimizer = EconomicOptimizer(ClusterSpec.homogeneous(2), trace)
+        with pytest.raises(ConfigurationError):
+            optimizer.search(lambda_mins=(0.9,), lambda_maxs=(0.5,))
+
+    def test_empty_trace_rejected(self):
+        with pytest.raises(ConfigurationError):
+            EconomicOptimizer(ClusterSpec.homogeneous(2), Trace([]))

@@ -1,0 +1,207 @@
+"""Integration tests of the datacenter engine.
+
+These drive full (small) simulations and check conservation laws and
+invariants that must hold whatever the policy: all work gets done, energy
+is consistent with node-hours, determinism under a fixed seed, and the
+basic lifecycle bookkeeping balances.
+"""
+
+import pytest
+
+from repro.cluster.spec import ClusterSpec, HostSpec, MEDIUM
+from repro.engine.config import EngineConfig
+from repro.engine.datacenter import DatacenterSimulation, simulate
+from repro.scheduling.baselines import BackfillingPolicy, RandomPolicy, RoundRobinPolicy
+from repro.scheduling.dynamic_backfilling import DynamicBackfillingPolicy
+from repro.scheduling.power_manager import PowerManagerConfig
+from repro.scheduling.score import ScoreConfig
+from repro.scheduling.score.policy import ScoreBasedPolicy
+from repro.des.random import RandomStreams
+from repro.units import DAY, HOUR
+from repro.workload.job import Job, JobState
+from repro.workload.synthetic import Grid5000WeekGenerator, SyntheticConfig
+from repro.workload.trace import Trace
+
+
+def small_trace(n_hours=6.0, seed=5):
+    cfg = SyntheticConfig(horizon_s=n_hours * HOUR, base_rate_per_hour=30.0)
+    return Grid5000WeekGenerator(cfg, seed=seed).generate()
+
+
+def tiny_cluster(n=6):
+    return ClusterSpec.homogeneous(n)
+
+
+ALL_POLICIES = [
+    lambda: RandomPolicy(RandomStreams(seed=9)),
+    lambda: RoundRobinPolicy(),
+    lambda: BackfillingPolicy(),
+    lambda: DynamicBackfillingPolicy(),
+    lambda: ScoreBasedPolicy(ScoreConfig.sb0()),
+    lambda: ScoreBasedPolicy(ScoreConfig.sb()),
+]
+
+
+class TestCompletion:
+    @pytest.mark.parametrize("make_policy", ALL_POLICIES)
+    def test_every_job_completes(self, make_policy):
+        trace = small_trace()
+        result = simulate(tiny_cluster(10), make_policy(), trace,
+                          config=EngineConfig(seed=5))
+        assert result.n_completed == result.n_jobs == len(trace)
+        assert result.n_failed == 0
+
+    def test_single_job_end_to_end(self):
+        job = Job(job_id=1, submit_time=10.0, runtime_s=600.0,
+                  cpu_pct=100.0, mem_mb=256.0)
+        engine = DatacenterSimulation(
+            cluster=tiny_cluster(1),
+            policy=BackfillingPolicy(),
+            trace=Trace([job]),
+            config=EngineConfig(seed=1, initial_on=1, creation_sigma_s=0.0),
+        )
+        result = engine.run()
+        assert result.n_completed == 1
+        finished = engine.vms[1].job
+        # submit 10 + creation 40 (medium class, no jitter) + 600 runtime.
+        assert finished.finish_time == pytest.approx(10.0 + 40.0 + 600.0, abs=1.0)
+        assert finished.satisfaction() == 100.0
+
+    def test_unplaceable_job_fails_fast(self):
+        job = Job(job_id=1, submit_time=0.0, runtime_s=600.0,
+                  cpu_pct=1600.0, mem_mb=256.0)  # wider than any host
+        result = simulate(tiny_cluster(3), BackfillingPolicy(), Trace([job]),
+                          config=EngineConfig(seed=1))
+        assert result.n_failed == 1
+        assert result.n_completed == 0
+
+    def test_empty_trace_rejected(self):
+        from repro.errors import ConfigurationError
+        with pytest.raises(ConfigurationError):
+            DatacenterSimulation(
+                cluster=tiny_cluster(1),
+                policy=BackfillingPolicy(),
+                trace=Trace([]),
+            ).run()
+
+
+class TestDeterminism:
+    @pytest.mark.parametrize("make_policy", [
+        lambda: BackfillingPolicy(),
+        lambda: ScoreBasedPolicy(ScoreConfig.sb()),
+        lambda: RandomPolicy(RandomStreams(seed=9)),
+    ])
+    def test_same_seed_same_result(self, make_policy):
+        trace = small_trace()
+        r1 = simulate(tiny_cluster(8), make_policy(), trace,
+                      config=EngineConfig(seed=5))
+        r2 = simulate(tiny_cluster(8), make_policy(), trace,
+                      config=EngineConfig(seed=5))
+        assert r1.energy_kwh == r2.energy_kwh
+        assert r1.satisfaction == r2.satisfaction
+        assert r1.migrations == r2.migrations
+        assert r1.sim_events == r2.sim_events
+
+    def test_different_seed_changes_jitter(self):
+        trace = small_trace()
+        r1 = simulate(tiny_cluster(8), BackfillingPolicy(), trace,
+                      config=EngineConfig(seed=5))
+        r2 = simulate(tiny_cluster(8), BackfillingPolicy(), trace,
+                      config=EngineConfig(seed=6))
+        # Creation jitter differs => energy differs at least slightly.
+        assert r1.energy_kwh != r2.energy_kwh
+
+
+class TestConservation:
+    def test_cpu_hours_match_work_when_uncontended(self):
+        """With room for everything, reserved CPU·h ≈ Σ runtime × cores
+        (+ the jitter of creation windows where VMs reserve but idle)."""
+        trace = small_trace(n_hours=3.0)
+        result = simulate(tiny_cluster(20), BackfillingPolicy(), trace,
+                          config=EngineConfig(seed=5))
+        expected = trace.stats().total_cpu_hours
+        assert result.cpu_hours == pytest.approx(expected, rel=0.08)
+
+    def test_energy_bounded_by_online_envelope(self):
+        """Energy can never exceed (online node-hours) × max watts, nor
+        fall below (online node-hours) × idle watts."""
+        trace = small_trace()
+        result = simulate(tiny_cluster(10), ScoreBasedPolicy(ScoreConfig.sb()),
+                          trace, config=EngineConfig(seed=5))
+        node_hours = result.avg_online * result.horizon_s / 3600.0
+        assert result.energy_kwh * 1000.0 <= node_hours * 304.0 * 1.01
+        assert result.energy_kwh * 1000.0 >= node_hours * 230.0 * 0.9
+
+    def test_working_never_exceeds_online(self):
+        trace = small_trace()
+        result = simulate(tiny_cluster(10), BackfillingPolicy(), trace,
+                          config=EngineConfig(seed=5))
+        assert result.avg_working <= result.avg_online + 1e-9
+
+    def test_satisfaction_in_range(self):
+        trace = small_trace()
+        for make_policy in ALL_POLICIES:
+            result = simulate(tiny_cluster(8), make_policy(), trace,
+                              config=EngineConfig(seed=5))
+            assert 0.0 <= result.satisfaction <= 100.0
+            assert result.delay_pct >= 0.0
+
+
+class TestMigrationMechanics:
+    def test_migrations_complete_and_count(self):
+        trace = small_trace()
+        result = simulate(tiny_cluster(10),
+                          ScoreBasedPolicy(ScoreConfig.sb()),
+                          trace, config=EngineConfig(seed=5))
+        assert result.migrations >= 0
+        assert result.n_completed == result.n_jobs
+
+    def test_no_migrations_without_permission(self):
+        trace = small_trace()
+        result = simulate(tiny_cluster(10),
+                          ScoreBasedPolicy(ScoreConfig.sb2()),
+                          trace, config=EngineConfig(seed=5))
+        assert result.migrations == 0
+
+
+class TestPowerManagement:
+    def test_nodes_turn_off_overnight(self):
+        """A workload that ends leaves only minexec nodes online."""
+        job = Job(job_id=1, submit_time=0.0, runtime_s=300.0,
+                  cpu_pct=100.0, mem_mb=256.0)
+        engine = DatacenterSimulation(
+            cluster=tiny_cluster(6),
+            policy=BackfillingPolicy(),
+            trace=Trace([job]),
+            pm_config=PowerManagerConfig(minexec=1),
+            config=EngineConfig(seed=1, initial_on=4),
+        )
+        engine.run()
+        online = sum(1 for h in engine.hosts if h.is_available)
+        # With one working node the controller trims toward
+        # ceil(1 / target_ratio) = 3 of the initial 4; the run freezes the
+        # instant the last job finishes, so the final trim to minexec
+        # never fires — at least one shutdown must have happened though.
+        assert online <= 3
+        assert engine.metrics.counters["shutdowns"] >= 1
+
+    def test_queue_pressure_boots_nodes(self):
+        """All nodes working + queue => ratio 1 > λmax => boots."""
+        jobs = [Job(job_id=i, submit_time=0.0, runtime_s=1800.0,
+                    cpu_pct=400.0, mem_mb=256.0) for i in range(1, 7)]
+        engine = DatacenterSimulation(
+            cluster=tiny_cluster(6),
+            policy=BackfillingPolicy(),
+            trace=Trace(jobs),
+            config=EngineConfig(seed=1, initial_on=1),
+        )
+        result = engine.run()
+        assert result.n_completed == 6
+        assert engine.metrics.counters["boots"] >= 1
+
+    def test_rejected_actions_counted(self):
+        """Two exclusive bindings to one host: second placement rejected."""
+        trace = small_trace()
+        result = simulate(tiny_cluster(4), RandomPolicy(RandomStreams(seed=9)),
+                          trace, config=EngineConfig(seed=5))
+        assert result.rejected_actions >= 0  # bookkeeping exists and is sane

@@ -1,0 +1,168 @@
+"""Tests for the experiment harness (reduced-scale runs of every module).
+
+Each experiment runs at a small fraction of the paper's week — the same
+code path as the full reproduction — and the assertions pin the *shape*
+each table/figure must exhibit.
+"""
+
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.experiments import registry
+from repro.experiments import (
+    ablation_power,
+    ext_reliability,
+    ext_sla,
+    figure1_validation,
+    figures2_3_thresholds,
+    table1_power,
+    table2_static,
+    table3_overheads,
+    table4_migration,
+    table5_consolidation,
+)
+from repro.experiments.common import ExperimentOutput, paper_cluster, paper_trace
+
+SCALE = 1.0 / 28.0  # six hours: fast but past the morning ramp
+
+
+class TestCommon:
+    def test_paper_cluster_full(self):
+        cluster = paper_cluster()
+        assert len(cluster) == 100
+
+    def test_paper_cluster_shrunk_keeps_ratio(self):
+        cluster = paper_cluster(20)
+        by_class = {k: len(v) for k, v in cluster.by_class().items()}
+        assert sum(by_class.values()) == 20
+        assert by_class["medium"] >= by_class["fast"]
+
+    def test_paper_trace_scales(self):
+        small = paper_trace(scale=0.02)
+        big = paper_trace(scale=0.05)
+        assert len(small) < len(big)
+
+    def test_registry_knows_all_experiments(self):
+        ids = registry.list_ids()
+        for expected in ("table1", "figure1", "figures2_3", "table2",
+                         "table3", "table4", "table5"):
+            assert expected in ids
+
+    def test_registry_rejects_unknown(self):
+        with pytest.raises(ConfigurationError):
+            registry.get("table42")
+
+
+class TestTable1:
+    def test_power_rows_match_paper(self):
+        out = table1_power.run(scale=0.5)
+        assert isinstance(out, ExperimentOutput)
+        for row in out.rows:
+            assert row["measured_w"] == pytest.approx(row["paper_w"], abs=5.0)
+
+
+class TestFigure1:
+    def test_validation_shape(self):
+        out = figure1_validation.run()
+        row = out.rows[0]
+        assert abs(row["total_error_pct"]) < 6.0
+
+
+class TestFigures2_3:
+    def test_mini_sweep_tradeoff(self):
+        cells = figures2_3_thresholds.sweep(
+            lambda_mins=(0.30, 0.70), lambda_maxs=(0.90,), scale=SCALE
+        )
+        assert len(cells) == 2
+        lo, hi = sorted(cells, key=lambda c: c["lambda_min"])
+        # Fig. 2: a higher λmin saves power (or at worst ties).
+        assert hi["power_kwh"] <= lo["power_kwh"] * 1.05
+
+    def test_run_produces_both_surfaces(self):
+        out = figures2_3_thresholds.run(scale=SCALE)
+        assert "Figure 2" in out.text and "Figure 3" in out.text
+
+
+class TestTable2:
+    def test_static_policy_shape(self):
+        out = table2_static.run(scale=SCALE)
+        by = {r["policy"]: r for r in out.rows}
+        assert set(by) == {"RD", "RR", "BF", "SB0"}
+        assert by["BF"]["power_kwh"] < by["RR"]["power_kwh"]
+        assert by["RD"]["satisfaction"] <= by["RR"]["satisfaction"] + 1.0
+        assert by["BF"]["satisfaction"] > by["RD"]["satisfaction"]
+
+
+class TestTable3:
+    def test_variants_present(self):
+        out = table3_overheads.run(scale=SCALE)
+        names = [r["policy"] for r in out.rows]
+        assert names == ["BF", "SB0", "SB1", "SB2", "SB2"]
+        assert out.rows[-1]["lambdas"] == "40-90"
+
+
+class TestTable4:
+    def test_migration_shape(self):
+        out = table4_migration.run(scale=SCALE)
+        by = {(r["policy"], r["lambdas"]): r for r in out.rows}
+        assert by[("SB", "30-90")]["migrations"] <= by[("DBF", "30-90")]["migrations"]
+        assert by[("SB", "40-90")]["power_kwh"] <= by[("BF", "30-90")]["power_kwh"]
+
+
+class TestTable5:
+    def test_migration_count_ordering(self):
+        out = table5_consolidation.run(scale=SCALE)
+        no_empty, balanced, aggressive = out.rows
+        assert no_empty["migrations"] == 0
+        assert aggressive["migrations"] >= balanced["migrations"]
+
+
+class TestExtensions:
+    def test_reliability_runs(self):
+        out = ext_reliability.run(scale=SCALE)
+        assert len(out.rows) == 3
+        assert {r["policy"] for r in out.rows} == {"SB", "SB+fault", "SB+fault+ckpt"}
+
+    def test_sla_runs(self):
+        out = ext_sla.run(scale=SCALE)
+        by = {r["policy"]: r for r in out.rows}
+        assert "SB+SLA" in by
+
+    def test_ablation_power_levers(self):
+        out = ablation_power.run(scale=SCALE)
+        by = {r["policy"]: r for r in out.rows}
+        assert by["SB/always-on"]["power_kwh"] > by["SB/table-I"]["power_kwh"]
+
+    def test_output_str_renders(self):
+        out = table1_power.run(scale=0.2)
+        text = str(out)
+        assert "paper reported" in text
+
+
+class TestNewExperiments:
+    def test_solver_ablation_runs(self):
+        from repro.experiments import ablation_solver
+        out = ablation_solver.run(scale=SCALE)
+        by = {r["solver"]: r for r in out.rows}
+        assert set(by) == {"hill_climb", "sa", "tabu"}
+        for row in by.values():
+            assert row["wall_clock_s"] > 0.0
+
+    def test_heuristics_experiment_runs(self):
+        from repro.experiments import ext_heuristics
+        out = ext_heuristics.run(scale=SCALE)
+        names = {r["policy"] for r in out.rows}
+        assert {"MET", "MCT", "Min-Min", "Max-Min", "OLB", "BF", "SB"} == names
+
+    def test_registry_includes_extensions(self):
+        ids = registry.list_ids()
+        assert "ablation_solver" in ids
+        assert "ext_heuristics" in ids
+
+    def test_workload_robustness_runs(self):
+        from repro.experiments import ext_workloads
+        out = ext_workloads.run(scale=SCALE)
+        families = [r["family"] for r in out.rows]
+        assert families == ["grid5000", "lublin", "heavy-tail"]
+        for row in out.rows:
+            assert row["bf_kwh"] > 0 and row["sb_kwh"] > 0

@@ -1,0 +1,162 @@
+"""Failure/migration interplay: the engine's hardest edge cases.
+
+A host can fail while a live migration is in flight, in either direction.
+The paper's actuator semantics: VMs on the failed host go back to the
+virtual-host queue (recovering checkpointed progress when available);
+migrations touching the failed host abort cleanly, leaving no orphan
+operations or reservations on the surviving side.
+"""
+
+import pytest
+
+from repro.cluster.host import HostState, OperationKind
+from repro.cluster.spec import ClusterSpec, HostSpec
+from repro.cluster.vm import VmState
+from repro.engine.config import EngineConfig
+from repro.engine.datacenter import DatacenterSimulation
+from repro.scheduling.actions import Migrate, Place
+from repro.scheduling.base import SchedulingPolicy
+from repro.workload.job import Job, JobState
+from repro.workload.trace import Trace
+
+
+class ScriptedPolicy(SchedulingPolicy):
+    """Replays a queue of action lists, one list per scheduling round.
+
+    After the script runs out it behaves like Backfilling, so VMs
+    re-queued by failures still find a home and the run can finish.
+    """
+
+    name = "scripted"
+    supports_migration = True
+
+    def __init__(self, script):
+        self.script = list(script)
+        self._fallback = None
+
+    def decide(self, ctx):
+        if self.script:
+            return self.script.pop(0)
+        if self._fallback is None:
+            from repro.scheduling.baselines import BackfillingPolicy
+
+            self._fallback = BackfillingPolicy()
+        return self._fallback.decide(ctx)
+
+
+def build_engine(script, n_hosts=3, runtime=3600.0):
+    job = Job(job_id=1, submit_time=0.0, runtime_s=runtime,
+              cpu_pct=100.0, mem_mb=512.0)
+    engine = DatacenterSimulation(
+        cluster=ClusterSpec.homogeneous(n_hosts),
+        policy=ScriptedPolicy(script),
+        trace=Trace([job]),
+        config=EngineConfig(seed=1, initial_on=n_hosts, creation_sigma_s=0.0,
+                            migration_sigma_s=0.0),
+    )
+    return engine
+
+
+def run_until(engine, t):
+    engine.start()
+    engine.sim.run(until=t)
+
+
+class TestFailureDuringMigration:
+    def _engine_with_migration(self):
+        """VM created on host 0, then migrated toward host 1 at t=200."""
+        engine = build_engine([
+            [Place(vm_id=1, host_id=0)],     # round at t=0
+            [Migrate(vm_id=1, dst_host_id=1)],  # round after creation
+        ])
+        # Creation takes 40 s (medium, no jitter); the creation-done event
+        # triggers no round (queue empty), so force one at t=200.
+        engine.sim.at(200.0, engine.trigger_round, label="force-round")
+        run_until(engine, 210.0)  # migration started (60 s, ends ~260)
+        vm = engine.vms[1]
+        assert vm.state is VmState.MIGRATING
+        return engine, vm
+
+    def test_destination_fails_mid_migration(self):
+        engine, vm = self._engine_with_migration()
+        dst = engine.hosts_by_id[1]
+        src = engine.hosts_by_id[0]
+        engine._failure_processes[dst.host_id] = _OneShotProcess()
+        engine._on_host_failure(dst)
+
+        # The VM survives on its source, running again.
+        assert vm.state is VmState.RUNNING
+        assert vm.host_id == src.host_id
+        assert vm.migration_dst is None
+        # No orphan operations anywhere.
+        assert src.operations == []
+        assert dst.operations == []
+        assert dst.reservations == {}
+        # The stale migration-done event must be a no-op.
+        run_until(engine, 400.0)
+        assert vm.state in (VmState.RUNNING, VmState.COMPLETED)
+        engine.sim.run()
+        assert engine.vms[1].job.state is JobState.COMPLETED
+
+    def test_source_fails_mid_migration(self):
+        engine, vm = self._engine_with_migration()
+        src = engine.hosts_by_id[0]
+        dst = engine.hosts_by_id[1]
+        engine._failure_processes[src.host_id] = _OneShotProcess()
+        engine._on_host_failure(src)
+
+        # The VM lost its source mid-copy: re-queued, progress reset
+        # (no checkpointing configured).
+        assert vm.state is VmState.QUEUED
+        assert vm.work_done == 0.0
+        assert dst.operations == []
+        assert dst.reservations == {}
+        # It reschedules and completes on a surviving host.
+        engine.sim.run()
+        assert engine.vms[1].job.state is JobState.COMPLETED
+
+    def test_failure_with_checkpoint_preserves_progress(self):
+        engine = build_engine([[Place(vm_id=1, host_id=0)]])
+        engine.checkpoints.interval_s = 100.0  # enable recording
+        run_until(engine, 150.0)
+        vm = engine.vms[1]
+        vm.advance(engine.sim.now)
+        engine.checkpoints.record(1, engine.sim.now, vm.work_done)
+        saved = vm.work_done
+        assert saved > 0.0
+
+        host = engine.hosts_by_id[0]
+        engine._failure_processes[host.host_id] = _OneShotProcess()
+        engine._on_host_failure(host)
+        assert vm.state is VmState.QUEUED
+        assert vm.work_done == pytest.approx(saved)
+        engine.sim.run()
+        assert vm.job.state is JobState.COMPLETED
+
+    def test_failure_during_creation_recreates(self):
+        engine = build_engine([[Place(vm_id=1, host_id=0)]])
+        run_until(engine, 10.0)  # mid-creation (creation takes 40 s)
+        vm = engine.vms[1]
+        assert vm.state is VmState.CREATING
+        host = engine.hosts_by_id[0]
+        engine._failure_processes[host.host_id] = _OneShotProcess()
+        engine._on_host_failure(host)
+        assert vm.state is VmState.QUEUED
+        # The stale creation-done event must not resurrect it on the
+        # failed host.
+        run_until(engine, 60.0)
+        assert vm.host_id != 0 or vm.state is not VmState.RUNNING
+        engine.sim.run()
+        assert vm.job.state is JobState.COMPLETED
+
+
+class _OneShotProcess:
+    """Failure process stub: one immediate repair, then silence."""
+
+    never_fails = False
+
+    def next_uptime(self):
+        return float("inf")
+
+    def next_downtime(self):
+        return 60.0

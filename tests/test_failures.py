@@ -1,0 +1,165 @@
+"""Tests for failure processes, checkpoints, and failure-injected runs."""
+
+import numpy as np
+import pytest
+
+from repro.cluster.checkpoint import CheckpointStore
+from repro.cluster.failures import FailureProcess
+from repro.cluster.spec import ClusterSpec, HostSpec
+from repro.engine.config import EngineConfig
+from repro.engine.datacenter import DatacenterSimulation, simulate
+from repro.errors import ConfigurationError
+from repro.scheduling.baselines import BackfillingPolicy
+from repro.scheduling.score import ScoreConfig
+from repro.scheduling.score.policy import ScoreBasedPolicy
+from repro.units import HOUR
+from repro.workload.job import Job, JobState
+from repro.workload.synthetic import Grid5000WeekGenerator, SyntheticConfig
+from repro.workload.trace import Trace
+
+
+class TestFailureProcess:
+    def test_reliable_host_never_fails(self):
+        fp = FailureProcess(reliability=1.0)
+        assert fp.never_fails
+        assert fp.next_uptime() == float("inf")
+
+    def test_mtbf_matches_availability(self):
+        fp = FailureProcess(reliability=0.9, mttr_s=3600.0,
+                            rng=np.random.default_rng(0))
+        assert fp.mtbf_s == pytest.approx(3600.0 * 9)
+
+    def test_long_run_availability(self):
+        """Property: simulated up/down cycles converge to F_rel."""
+        fp = FailureProcess(reliability=0.8, mttr_s=1000.0,
+                            rng=np.random.default_rng(1))
+        up = sum(fp.next_uptime() for _ in range(3000))
+        down = sum(fp.next_downtime() for _ in range(3000))
+        assert up / (up + down) == pytest.approx(0.8, abs=0.02)
+
+    def test_invalid_reliability_rejected(self):
+        with pytest.raises(ConfigurationError):
+            FailureProcess(reliability=0.0)
+
+    def test_invalid_mttr_rejected(self):
+        with pytest.raises(ConfigurationError):
+            FailureProcess(reliability=0.9, mttr_s=0.0)
+
+
+class TestCheckpointStore:
+    def test_disabled_store_records_nothing(self):
+        store = CheckpointStore(interval_s=None)
+        store.record(1, 10.0, 500.0)
+        assert store.latest(1) is None
+        assert not store.enabled
+
+    def test_latest_returns_most_recent(self):
+        store = CheckpointStore(interval_s=60.0)
+        store.record(1, 10.0, 100.0)
+        store.record(1, 70.0, 200.0)
+        snap = store.latest(1)
+        assert snap.work_done == 200.0
+        assert snap.time == 70.0
+
+    def test_keep_limit_drops_old(self):
+        store = CheckpointStore(interval_s=60.0, keep=2)
+        for i in range(5):
+            store.record(1, float(i), float(i * 10))
+        assert len(store) == 2
+        assert store.latest(1).work_done == 40.0
+
+    def test_forget(self):
+        store = CheckpointStore(interval_s=60.0)
+        store.record(1, 10.0, 100.0)
+        store.forget(1)
+        assert store.latest(1) is None
+
+    def test_invalid_interval_rejected(self):
+        with pytest.raises(ConfigurationError):
+            CheckpointStore(interval_s=-1.0)
+
+    def test_invalid_keep_rejected(self):
+        with pytest.raises(ConfigurationError):
+            CheckpointStore(keep=0)
+
+
+def flaky_cluster(n=6, reliability=0.95):
+    """Noticeably flaky but not livelocked: MTBF ~9.5 h at MTTR 30 min.
+
+    (Reliability far below ~0.9 with hour-long jobs and no checkpoints is
+    a genuine livelock — jobs lose all progress more often than they can
+    finish — so tests stay above that regime.)
+    """
+    return ClusterSpec(
+        HostSpec(host_id=i, reliability=reliability) for i in range(n)
+    )
+
+
+def bursty_trace(seed=5):
+    cfg = SyntheticConfig(horizon_s=8 * HOUR, base_rate_per_hour=20.0,
+                          night_fraction=0.6, runtime_max_s=2 * HOUR)
+    return Grid5000WeekGenerator(cfg, seed=seed).generate()
+
+
+class TestFailureInjection:
+    def test_failures_occur_and_jobs_still_complete(self):
+        result = simulate(
+            flaky_cluster(), BackfillingPolicy(), bursty_trace(),
+            config=EngineConfig(seed=5, enable_failures=True, mttr_s=1800.0),
+        )
+        assert result.host_failures > 0
+        # Re-queued VMs are re-created; everything eventually finishes.
+        assert result.n_completed == result.n_jobs
+
+    def test_checkpoints_recover_progress(self):
+        cfg = EngineConfig(seed=5, enable_failures=True, mttr_s=1800.0,
+                           checkpoint_interval_s=600.0)
+        result = simulate(flaky_cluster(), BackfillingPolicy(),
+                          bursty_trace(), config=cfg)
+        if result.host_failures:  # failures hit running VMs in this seed
+            assert result.checkpoint_recoveries >= 0
+        assert result.n_completed == result.n_jobs
+
+    def test_failures_hurt_satisfaction(self):
+        trace = bursty_trace()
+        healthy = simulate(
+            ClusterSpec.homogeneous(6), BackfillingPolicy(), trace,
+            config=EngineConfig(seed=5),
+        )
+        flaky = simulate(
+            flaky_cluster(reliability=0.85), BackfillingPolicy(), trace,
+            config=EngineConfig(seed=5, enable_failures=True, mttr_s=1800.0),
+        )
+        assert flaky.satisfaction <= healthy.satisfaction + 1e-9
+        assert flaky.host_failures > 0
+
+    def test_failed_hosts_repair_and_return(self):
+        trace = bursty_trace()
+        engine = DatacenterSimulation(
+            cluster=flaky_cluster(reliability=0.9),
+            policy=BackfillingPolicy(),
+            trace=trace,
+            config=EngineConfig(seed=5, enable_failures=True, mttr_s=1800.0),
+        )
+        result = engine.run()
+        assert result.host_failures > 0
+        assert result.n_completed == result.n_jobs
+
+    def test_fault_penalty_prefers_reliable_hosts(self):
+        """With P_fault on, a reliable host wins over a flaky one."""
+        from repro.cluster.host import Host, HostState
+        from repro.scheduling.base import SchedulingContext
+        from repro.cluster.vm import Vm
+
+        reliable = Host(HostSpec(host_id=0, reliability=1.0),
+                        initial_state=HostState.ON)
+        flaky = Host(HostSpec(host_id=1, reliability=0.7),
+                     initial_state=HostState.ON)
+        job = Job(job_id=1, submit_time=0.0, runtime_s=600.0,
+                  cpu_pct=100.0, mem_mb=256.0)
+        vm = Vm(job)
+        policy = ScoreBasedPolicy(ScoreConfig.sb(enable_fault=True, c_fail=500.0))
+        ctx = SchedulingContext(now=0.0, hosts=[flaky, reliable],
+                                queued=(vm,), placed=())
+        actions = policy.decide(ctx)
+        assert actions[0].host_id == reliable.host_id

@@ -1,0 +1,166 @@
+"""Tests for the multi-datacenter federation layer."""
+
+import pytest
+
+from repro.cluster.spec import ClusterSpec
+from repro.economics.pricing import TimeOfUseTariff
+from repro.engine.config import EngineConfig
+from repro.errors import ConfigurationError
+from repro.federation import (
+    CarbonModel,
+    CheapestEnergyDispatcher,
+    Federation,
+    GreenestDispatcher,
+    RoundRobinDispatcher,
+    SiteSpec,
+)
+from repro.units import DAY, HOUR
+from repro.workload.job import Job
+from repro.workload.synthetic import Grid5000WeekGenerator, SyntheticConfig
+from repro.workload.trace import Trace
+
+
+def make_site(name, tz=0.0, base_carbon=400.0, solar=0.0,
+              offpeak=0.10, peak=0.20, n_hosts=6, seed=3):
+    return SiteSpec(
+        name=name,
+        cluster=ClusterSpec.homogeneous(n_hosts),
+        tz_offset_h=tz,
+        tariff=TimeOfUseTariff(offpeak_eur_per_kwh=offpeak,
+                               peak_eur_per_kwh=peak),
+        carbon=CarbonModel(base_g_per_kwh=base_carbon, solar_fraction=solar),
+        engine_config=EngineConfig(seed=seed),
+    )
+
+
+def small_trace(seed=3):
+    cfg = SyntheticConfig(horizon_s=4 * HOUR, base_rate_per_hour=25.0,
+                          night_fraction=0.6)
+    return Grid5000WeekGenerator(cfg, seed=seed).generate()
+
+
+class TestCarbonModel:
+    def test_flat_without_solar(self):
+        m = CarbonModel(base_g_per_kwh=400.0)
+        assert m.intensity_at(0.0) == m.intensity_at(12 * HOUR) == 400.0
+
+    def test_solar_dips_at_noon(self):
+        m = CarbonModel(base_g_per_kwh=400.0, solar_fraction=0.5)
+        noon = m.intensity_at(12 * HOUR)
+        midnight = m.intensity_at(0.0)
+        assert noon == pytest.approx(200.0)
+        assert midnight == 400.0
+
+    def test_solar_zero_outside_daylight(self):
+        m = CarbonModel(base_g_per_kwh=400.0, solar_fraction=0.5)
+        assert m.intensity_at(3 * HOUR) == 400.0
+        assert m.intensity_at(20 * HOUR) == 400.0
+
+    def test_invalid_fraction_rejected(self):
+        with pytest.raises(ConfigurationError):
+            CarbonModel(solar_fraction=1.5)
+
+
+class TestSiteSpec:
+    def test_timezone_shifts_tariff(self):
+        site = make_site("x", tz=-8.0, offpeak=0.05, peak=0.50)
+        # At 10:00 federation time it is 02:00 local: off-peak.
+        assert site.energy_price_at(10 * HOUR) == 0.05
+
+    def test_invalid_tz_rejected(self):
+        with pytest.raises(ConfigurationError):
+            make_site("x", tz=30.0)
+
+    def test_unnamed_rejected(self):
+        with pytest.raises(ConfigurationError):
+            make_site("")
+
+
+class TestDispatchers:
+    def _job(self, job_id=1, submit=12 * HOUR, runtime=1800.0):
+        return Job(job_id=job_id, submit_time=submit, runtime_s=runtime,
+                   cpu_pct=100.0, mem_mb=256.0)
+
+    def test_round_robin_cycles(self):
+        sites = [make_site("a"), make_site("b")]
+        d = RoundRobinDispatcher()
+        picks = [d.assign(self._job(i), sites) for i in range(1, 5)]
+        assert picks == ["a", "b", "a", "b"]
+
+    def test_cheapest_picks_offpeak_site(self):
+        # At noon federation time: site "home" is on-peak, site "far"
+        # (tz -12) is at midnight: off-peak and cheaper.
+        home = make_site("home", tz=0.0, offpeak=0.10, peak=0.30)
+        far = make_site("far", tz=-12.0, offpeak=0.10, peak=0.30)
+        d = CheapestEnergyDispatcher()
+        assert d.assign(self._job(), [home, far]) == "far"
+
+    def test_greenest_picks_solar_site_at_its_noon(self):
+        dirty = make_site("dirty", base_carbon=500.0)
+        sunny = make_site("sunny", base_carbon=500.0, solar=0.8)
+        d = GreenestDispatcher()
+        # Job at sunny's local noon.
+        assert d.assign(self._job(submit=12 * HOUR), [dirty, sunny]) == "sunny"
+
+    def test_headroom_fallback(self):
+        tiny = make_site("tiny", n_hosts=1, offpeak=0.01, peak=0.01)
+        big = make_site("big", n_hosts=6, offpeak=0.50, peak=0.50)
+        d = CheapestEnergyDispatcher()
+        # Flood the cheap tiny site; overflow must go to the big one.
+        picks = [d.assign(self._job(i, runtime=7200.0), [tiny, big])
+                 for i in range(1, 8)]
+        assert "big" in picks
+        assert picks[0] == "tiny"
+
+
+class TestFederation:
+    def test_split_conserves_jobs(self):
+        sites = [make_site("a"), make_site("b")]
+        federation = Federation(sites, RoundRobinDispatcher())
+        trace = small_trace()
+        shares = federation.split(trace)
+        assert sum(len(v) for v in shares.values()) == len(trace)
+
+    def test_run_aggregates(self):
+        sites = [make_site("a", seed=3), make_site("b", seed=4)]
+        federation = Federation(sites, RoundRobinDispatcher())
+        outcome = federation.run(small_trace())
+        assert outcome.total_energy_kwh > 0
+        assert outcome.total_cost_eur > 0
+        assert outcome.total_carbon_kg > 0
+        assert 0 <= outcome.satisfaction <= 100
+        assert sum(s.n_jobs for s in outcome.sites) == len(small_trace())
+
+    def test_empty_site_allowed(self):
+        sites = [make_site("a"), make_site("b")]
+
+        class AllToA(RoundRobinDispatcher):
+            name = "all-a"
+
+            def assign(self, job, sites):
+                return "a"
+
+        outcome = Federation(sites, AllToA()).run(small_trace())
+        by = {s.site: s for s in outcome.sites}
+        assert by["b"].n_jobs == 0
+        assert by["b"].energy_kwh == 0.0
+
+    def test_duplicate_site_names_rejected(self):
+        with pytest.raises(ConfigurationError):
+            Federation([make_site("a"), make_site("a")], RoundRobinDispatcher())
+
+    def test_no_sites_rejected(self):
+        with pytest.raises(ConfigurationError):
+            Federation([], RoundRobinDispatcher())
+
+    def test_greener_dispatcher_emits_less(self):
+        """The headline property: routing by carbon beats geo-blind
+        rotation on emissions for the same workload."""
+        trace = small_trace()
+        sites = lambda: [
+            make_site("dirty", base_carbon=600.0, seed=3),
+            make_site("clean", base_carbon=150.0, seed=4),
+        ]
+        rr = Federation(sites(), RoundRobinDispatcher()).run(trace)
+        green = Federation(sites(), GreenestDispatcher()).run(trace)
+        assert green.total_carbon_kg < rr.total_carbon_kg

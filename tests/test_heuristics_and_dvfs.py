@@ -1,0 +1,159 @@
+"""Tests for the classic mapping heuristics and the DVFS power model."""
+
+import pytest
+
+from repro.cluster.dvfs import (
+    PAPER_CALIBRATED_DVFS,
+    DvfsOperatingPoint,
+    DvfsPowerModel,
+)
+from repro.cluster.host import Host, HostState
+from repro.cluster.spec import ClusterSpec, FAST, MEDIUM, SLOW, HostSpec
+from repro.cluster.vm import Vm, VmState
+from repro.engine.config import EngineConfig
+from repro.engine.datacenter import simulate
+from repro.errors import ConfigurationError
+from repro.scheduling.actions import Place
+from repro.scheduling.base import SchedulingContext
+from repro.scheduling.heuristics import (
+    MaxMinPolicy,
+    MctPolicy,
+    MetPolicy,
+    MinMinPolicy,
+    OlbPolicy,
+)
+from repro.units import HOUR
+from repro.workload.job import Job
+from repro.workload.synthetic import Grid5000WeekGenerator, SyntheticConfig
+
+
+def make_vm(vm_id, cpu=100.0, runtime=3600.0):
+    job = Job(job_id=vm_id, submit_time=0.0, runtime_s=runtime,
+              cpu_pct=cpu, mem_mb=512.0)
+    return Vm(job)
+
+
+def make_host(host_id, node_class=MEDIUM, state=HostState.ON):
+    return Host(HostSpec(host_id=host_id, node_class=node_class),
+                initial_state=state)
+
+
+def ctx_for(hosts, queued=(), placed=()):
+    return SchedulingContext(now=0.0, hosts=hosts, queued=tuple(queued),
+                             placed=tuple(placed))
+
+
+ALL_HEURISTICS = [MetPolicy, MctPolicy, MinMinPolicy, MaxMinPolicy, OlbPolicy]
+
+
+class TestHeuristicPolicies:
+    @pytest.mark.parametrize("cls", ALL_HEURISTICS)
+    def test_places_feasible_vm(self, cls):
+        hosts = [make_host(0)]
+        actions = cls().decide(ctx_for(hosts, [make_vm(1)]))
+        assert actions == [Place(vm_id=1, host_id=0)]
+
+    @pytest.mark.parametrize("cls", ALL_HEURISTICS)
+    def test_respects_memory(self, cls):
+        host = make_host(0)
+        fat = make_vm(1)
+        fat.mem_req = 5000.0  # exceeds the 4096 MB host
+        actions = cls().decide(ctx_for([host], [fat]))
+        assert actions == []
+
+    def test_met_prefers_fast_class_regardless_of_load(self):
+        fast, slow = make_host(0, FAST), make_host(1, SLOW)
+        resident = make_vm(9, cpu=300.0)
+        resident.state = VmState.RUNNING
+        fast.add_vm(resident)
+        actions = MetPolicy().decide(ctx_for([fast, slow], [make_vm(1)]))
+        assert actions[0].host_id == fast.host_id  # load-blind speed pick
+
+    def test_mct_avoids_overloaded_fast_host(self):
+        fast, slow = make_host(0, FAST), make_host(1, SLOW)
+        resident = make_vm(9, cpu=400.0)
+        resident.state = VmState.RUNNING
+        fast.add_vm(resident)
+        actions = MctPolicy().decide(ctx_for([fast, slow], [make_vm(1, cpu=400.0)]))
+        # Completion on the saturated fast host would stretch 2x; the
+        # empty slow host wins despite slower creation.
+        assert actions[0].host_id == slow.host_id
+
+    def test_min_min_commits_small_first(self):
+        hosts = [make_host(0)]
+        small = make_vm(1, runtime=600.0)
+        big = make_vm(2, runtime=7200.0)
+        actions = MinMinPolicy().decide(ctx_for(hosts, [big, small]))
+        assert actions[0].vm_id == small.vm_id
+
+    def test_max_min_commits_big_first(self):
+        hosts = [make_host(0)]
+        small = make_vm(1, runtime=600.0)
+        big = make_vm(2, runtime=7200.0)
+        actions = MaxMinPolicy().decide(ctx_for(hosts, [small, big]))
+        assert actions[0].vm_id == big.vm_id
+
+    def test_olb_prefers_least_loaded(self):
+        loaded, empty = make_host(0, FAST), make_host(1, SLOW)
+        resident = make_vm(9, cpu=200.0)
+        resident.state = VmState.RUNNING
+        loaded.add_vm(resident)
+        actions = OlbPolicy().decide(ctx_for([loaded, empty], [make_vm(1)]))
+        assert actions[0].host_id == empty.host_id
+
+    @pytest.mark.parametrize("cls", ALL_HEURISTICS)
+    def test_full_simulation_completes(self, cls):
+        trace = Grid5000WeekGenerator(
+            SyntheticConfig(horizon_s=4 * HOUR, base_rate_per_hour=25.0,
+                            night_fraction=0.6), seed=7
+        ).generate()
+        result = simulate(ClusterSpec.homogeneous(10), cls(), trace,
+                          config=EngineConfig(seed=7))
+        assert result.n_completed == result.n_jobs
+        assert 0.0 <= result.satisfaction <= 100.0
+
+
+class TestDvfsModel:
+    def test_idle_draws_static(self):
+        assert DvfsPowerModel().power(0.0) == 230.0
+
+    def test_full_load_draws_static_plus_dynamic(self):
+        m = DvfsPowerModel()
+        assert m.power(400.0) == pytest.approx(304.0, abs=0.5)
+
+    def test_monotone_nondecreasing(self):
+        m = DvfsPowerModel()
+        values = [m.power(u) for u in range(0, 401, 10)]
+        assert all(b >= a - 1e-9 for a, b in zip(values, values[1:]))
+
+    def test_governor_picks_lowest_sufficient_state(self):
+        m = DvfsPowerModel()
+        low = m.operating_point(40.0)    # 10% load
+        high = m.operating_point(400.0)  # 100% load
+        assert low.freq_ghz < high.freq_ghz
+        assert high is m.points[-1]
+
+    def test_stepped_curve_cheaper_than_linear_at_low_load(self):
+        """DVFS's point: low load runs at low frequency and voltage, so
+        mid-range power sits below a straight idle-max interpolation."""
+        m = DvfsPowerModel()
+        linear_mid = 230.0 + (m.power(400.0) - 230.0) * 0.25
+        assert m.power(100.0) <= linear_mid + 1e-9
+
+    def test_scaled_to_other_capacity(self):
+        m = DvfsPowerModel().scaled_to(800.0)
+        assert m.capacity == 800.0
+        assert m.power(800.0) == pytest.approx(304.0, abs=0.5)
+
+    def test_validation(self):
+        with pytest.raises(ConfigurationError):
+            DvfsOperatingPoint(0.0, 1.0)
+        with pytest.raises(ConfigurationError):
+            DvfsPowerModel(points=(PAPER_CALIBRATED_DVFS[1], PAPER_CALIBRATED_DVFS[0]))
+        with pytest.raises(ConfigurationError):
+            DvfsPowerModel(points=())
+
+    def test_usable_as_host_model(self):
+        spec = HostSpec(host_id=0, power_model=DvfsPowerModel())
+        assert spec.power_model.capacity == spec.cpu_capacity
+        assert spec.idle_watts == 230.0

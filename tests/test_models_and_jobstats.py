@@ -1,0 +1,139 @@
+"""Tests for the literature workload models and per-job record export."""
+
+import io
+
+import numpy as np
+import pytest
+
+from repro.cluster.spec import ClusterSpec
+from repro.engine.config import EngineConfig
+from repro.engine.datacenter import DatacenterSimulation
+from repro.engine.jobstats import JobRecord, job_records, summarize_jobs, write_csv
+from repro.errors import ConfigurationError
+from repro.scheduling.baselines import BackfillingPolicy
+from repro.units import DAY, HOUR
+from repro.workload.models import HeavyTailModel, LublinFeitelsonModel
+
+
+class TestLublinFeitelson:
+    def test_deterministic(self):
+        model = LublinFeitelsonModel(horizon_s=DAY)
+        t1 = model.generate(seed=7)
+        t2 = model.generate(seed=7)
+        assert len(t1) == len(t2)
+        assert [j.submit_time for j in t1] == [j.submit_time for j in t2]
+
+    def test_sizes_are_powers_of_two(self):
+        model = LublinFeitelsonModel(horizon_s=DAY, max_cores=4)
+        trace = model.generate(seed=7)
+        for job in trace:
+            assert round(job.cores) in (1, 2, 4)
+
+    def test_serial_fraction_roughly_matches(self):
+        model = LublinFeitelsonModel(horizon_s=3 * DAY, p_serial=0.5)
+        trace = model.generate(seed=7)
+        serial = sum(1 for j in trace if round(j.cores) == 1)
+        assert 0.35 < serial / len(trace) < 0.65
+
+    def test_bigger_jobs_run_longer_on_average(self):
+        model = LublinFeitelsonModel(horizon_s=7 * DAY, jobs_per_day=800.0)
+        trace = model.generate(seed=7)
+        small = [j.runtime_s for j in trace if round(j.cores) == 1]
+        wide = [j.runtime_s for j in trace if round(j.cores) == 4]
+        assert np.mean(wide) > np.mean(small)
+
+    def test_daily_cycle_visible(self):
+        from repro.workload.analysis import hourly_arrival_counts
+        model = LublinFeitelsonModel(horizon_s=7 * DAY, jobs_per_day=800.0)
+        counts = hourly_arrival_counts(model.generate(seed=7))
+        assert counts[11] > counts[3]  # late morning >> night
+
+    def test_validation(self):
+        with pytest.raises(ConfigurationError):
+            LublinFeitelsonModel(horizon_s=0.0)
+        with pytest.raises(ConfigurationError):
+            LublinFeitelsonModel(p_serial=1.5)
+        with pytest.raises(ConfigurationError):
+            LublinFeitelsonModel(hourly_weights=(1, 2, 3))
+
+    def test_runs_through_the_engine(self):
+        trace = LublinFeitelsonModel(horizon_s=6 * HOUR, jobs_per_day=200.0).generate(seed=3)
+        engine = DatacenterSimulation(
+            cluster=ClusterSpec.homogeneous(10),
+            policy=BackfillingPolicy(),
+            trace=trace,
+            config=EngineConfig(seed=3),
+        )
+        result = engine.run()
+        assert result.n_completed == result.n_jobs
+
+
+class TestHeavyTail:
+    def test_deterministic(self):
+        model = HeavyTailModel(horizon_s=DAY)
+        assert [j.runtime_s for j in model.generate(seed=1)] == [
+            j.runtime_s for j in model.generate(seed=1)
+        ]
+
+    def test_tail_heavier_than_exponential(self):
+        model = HeavyTailModel(horizon_s=7 * DAY, jobs_per_hour=50.0,
+                               pareto_alpha=1.3)
+        runtimes = np.array([j.runtime_s for j in model.generate(seed=1)])
+        # Top 10% of jobs carry most of the mass.
+        top = np.sort(runtimes)[-len(runtimes) // 10:]
+        assert top.sum() > 0.5 * runtimes.sum()
+
+    def test_cap_respected(self):
+        model = HeavyTailModel(horizon_s=DAY, runtime_cap_s=3600.0)
+        assert all(j.runtime_s <= 3600.0 for j in model.generate(seed=1))
+
+    def test_alpha_must_give_finite_mean(self):
+        with pytest.raises(ConfigurationError):
+            HeavyTailModel(pareto_alpha=1.0)
+
+
+class TestJobStats:
+    def _engine(self):
+        trace = HeavyTailModel(horizon_s=4 * HOUR, jobs_per_hour=20.0).generate(seed=2)
+        engine = DatacenterSimulation(
+            cluster=ClusterSpec.homogeneous(8),
+            policy=BackfillingPolicy(),
+            trace=trace,
+            config=EngineConfig(seed=2),
+        )
+        engine.run()
+        return engine
+
+    def test_records_cover_all_jobs(self):
+        engine = self._engine()
+        records = job_records(engine)
+        assert len(records) == len(engine.trace)
+        assert all(r.state == "completed" for r in records)
+        assert all(r.wait_s >= 0 for r in records)
+        assert all(r.stretch >= 1.0 - 1e-9 for r in records)
+
+    def test_summary_percentiles_ordered(self):
+        engine = self._engine()
+        summary = summarize_jobs(job_records(engine))
+        assert summary["wait_p50_s"] <= summary["wait_p95_s"] <= summary["wait_p99_s"]
+        assert summary["stretch_p50"] <= summary["stretch_p95"]
+        assert 0.0 <= summary["late_fraction"] <= 1.0
+
+    def test_summary_requires_completions(self):
+        with pytest.raises(ConfigurationError):
+            summarize_jobs([])
+
+    def test_csv_roundtrip(self):
+        engine = self._engine()
+        records = job_records(engine)
+        buf = io.StringIO()
+        write_csv(records, buf)
+        lines = buf.getvalue().splitlines()
+        assert lines[0].split(",") == JobRecord.header()
+        assert len(lines) == len(records) + 1
+
+    def test_csv_to_file(self, tmp_path):
+        engine = self._engine()
+        path = tmp_path / "jobs.csv"
+        write_csv(job_records(engine), path)
+        assert path.read_text().startswith("job_id,")

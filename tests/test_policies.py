@@ -1,0 +1,334 @@
+"""Tests for scheduling policies and the power manager."""
+
+import pytest
+
+from repro.cluster.host import Host, HostState
+from repro.cluster.spec import FAST, MEDIUM, SLOW, HostSpec
+from repro.cluster.vm import Vm, VmState
+from repro.des.random import RandomStreams
+from repro.errors import ConfigurationError
+from repro.scheduling import (
+    BackfillingPolicy,
+    DynamicBackfillingPolicy,
+    Migrate,
+    Place,
+    PowerManager,
+    PowerManagerConfig,
+    RandomPolicy,
+    RoundRobinPolicy,
+    ScoreBasedPolicy,
+    ScoreConfig,
+    TurnOff,
+    TurnOn,
+)
+from repro.scheduling.base import SchedulingContext
+from repro.workload.job import Job
+
+
+def make_vm(vm_id, cpu=100.0, mem=512.0, runtime=3600.0):
+    job = Job(job_id=vm_id, submit_time=0.0, runtime_s=runtime,
+              cpu_pct=cpu, mem_mb=mem)
+    return Vm(job)
+
+
+def make_host(host_id, node_class=MEDIUM, state=HostState.ON, **kw):
+    return Host(HostSpec(host_id=host_id, node_class=node_class, **kw),
+                initial_state=state)
+
+
+def ctx_for(hosts, queued=(), placed=(), now=0.0):
+    return SchedulingContext(now=now, hosts=hosts, queued=tuple(queued),
+                             placed=tuple(placed))
+
+
+def run_vm(host, vm):
+    vm.state = VmState.RUNNING
+    host.add_vm(vm)
+
+
+class TestBackfilling:
+    def test_places_into_most_occupied(self):
+        fuller, emptier = make_host(0), make_host(1)
+        run_vm(fuller, make_vm(9, cpu=200.0))
+        actions = BackfillingPolicy().decide(ctx_for([fuller, emptier], [make_vm(1)]))
+        assert actions == [Place(vm_id=1, host_id=0)]
+
+    def test_skips_full_hosts(self):
+        full, spare = make_host(0), make_host(1)
+        run_vm(full, make_vm(9, cpu=400.0))
+        actions = BackfillingPolicy().decide(ctx_for([full, spare], [make_vm(1)]))
+        assert actions == [Place(vm_id=1, host_id=1)]
+
+    def test_leaves_unfittable_queued(self):
+        host = make_host(0)
+        run_vm(host, make_vm(9, cpu=400.0))
+        actions = BackfillingPolicy().decide(ctx_for([host], [make_vm(1)]))
+        assert actions == []
+
+    def test_round_internal_additions_respected(self):
+        host = make_host(0)
+        vms = [make_vm(1, cpu=300.0), make_vm(2, cpu=300.0)]
+        actions = BackfillingPolicy().decide(ctx_for([host], vms))
+        assert len(actions) == 1  # second does not fit after the first
+
+    def test_backfills_smaller_later_job(self):
+        host = make_host(0)
+        run_vm(host, make_vm(9, cpu=200.0))
+        vms = [make_vm(1, cpu=300.0), make_vm(2, cpu=100.0)]
+        actions = BackfillingPolicy().decide(ctx_for([host], vms))
+        assert actions == [Place(vm_id=2, host_id=0)]
+
+    def test_never_targets_off_hosts(self):
+        off = make_host(0, state=HostState.OFF)
+        actions = BackfillingPolicy().decide(ctx_for([off], [make_vm(1)]))
+        assert actions == []
+
+
+class TestRandom:
+    def test_binds_exclusively_and_sticks(self):
+        hosts = [make_host(i) for i in range(3)]
+        vm = make_vm(1)
+        policy = RandomPolicy(RandomStreams(seed=5))
+        actions = policy.decide(ctx_for(hosts, [vm]))
+        assert len(actions) == 1
+        assert isinstance(actions[0], Place)
+        assert vm.exclusive
+
+    def test_boots_off_bound_host(self):
+        hosts = [make_host(0, state=HostState.OFF)]
+        policy = RandomPolicy(RandomStreams(seed=5))
+        actions = policy.decide(ctx_for(hosts, [make_vm(1)]))
+        assert actions == [TurnOn(host_id=0)]
+
+    def test_waits_for_busy_bound_host(self):
+        host = make_host(0)
+        run_vm(host, make_vm(9))
+        policy = RandomPolicy(RandomStreams(seed=5))
+        actions = policy.decide(ctx_for([host], [make_vm(1)]))
+        assert actions == []  # node-local queue
+
+    def test_binding_is_sticky_while_waiting(self):
+        # All hosts busy: the VM binds once and waits for that node across
+        # rounds instead of re-rolling the dice.
+        hosts = [make_host(i) for i in range(5)]
+        for i, h in enumerate(hosts):
+            run_vm(h, make_vm(100 + i))
+        vm = make_vm(1)
+        policy = RandomPolicy(RandomStreams(seed=5))
+        assert policy.decide(ctx_for(hosts, [vm])) == []
+        bound = policy._binding[vm.vm_id]
+        assert policy.decide(ctx_for(hosts, [vm])) == []
+        assert policy._binding[vm.vm_id] == bound
+
+    def test_rebinds_after_host_failure(self):
+        hosts = [make_host(0)]
+        vm = make_vm(1)
+        policy = RandomPolicy(RandomStreams(seed=5))
+        policy.decide(ctx_for(hosts, [vm]))
+        hosts[0].state = HostState.FAILED
+        other = make_host(1)
+        actions = policy.decide(ctx_for([hosts[0], other], [vm]))
+        assert actions == [Place(vm_id=1, host_id=1)]
+
+
+class TestRoundRobin:
+    def test_cycles_over_hosts(self):
+        hosts = [make_host(i) for i in range(3)]
+        policy = RoundRobinPolicy()
+        vms = [make_vm(i) for i in range(1, 4)]
+        actions = policy.decide(ctx_for(hosts, vms))
+        assert [a.host_id for a in actions if isinstance(a, Place)] == [0, 1, 2]
+
+    def test_wraps_around_and_waits_behind_busy_node(self):
+        hosts = [make_host(i) for i in range(2)]
+        policy = RoundRobinPolicy()
+        vm1, vm2 = make_vm(1), make_vm(2)
+        actions = policy.decide(ctx_for(hosts, [vm1, vm2]))
+        # Apply the placements as the engine would.
+        for a in actions:
+            run_vm(hosts[a.host_id], vm1 if a.vm_id == 1 else vm2)
+        vm3 = make_vm(3)
+        actions = policy.decide(ctx_for(hosts, [vm3]))
+        # The cursor wraps to host 0, which is busy: vm3 waits on it.
+        assert actions == []
+        assert policy._binding[3] == 0
+
+    def test_one_claim_per_host_per_round(self):
+        hosts = [make_host(0)]
+        actions = RoundRobinPolicy().decide(ctx_for(hosts, [make_vm(1), make_vm(2)]))
+        assert len([a for a in actions if isinstance(a, Place)]) == 1
+
+
+class TestDynamicBackfilling:
+    def _loaded(self):
+        lonely, busy, spare = make_host(0), make_host(1), make_host(2)
+        straggler = make_vm(1, cpu=100.0, runtime=7200.0)
+        run_vm(lonely, straggler)
+        residents = []
+        for i in range(2, 5):
+            vm = make_vm(i, cpu=100.0)
+            run_vm(busy, vm)
+            residents.append(vm)
+        return lonely, busy, spare, straggler, residents
+
+    def test_emigrates_to_empty_source_host(self):
+        lonely, busy, spare, straggler, residents = self._loaded()
+        policy = DynamicBackfillingPolicy()
+        ctx = ctx_for([lonely, busy, spare], placed=[straggler] + residents)
+        migrations = [a for a in policy.decide(ctx) if isinstance(a, Migrate)]
+        assert migrations == [Migrate(vm_id=1, dst_host_id=1)]
+
+    def test_consolidation_throttled_by_period(self):
+        lonely, busy, spare, straggler, residents = self._loaded()
+        policy = DynamicBackfillingPolicy(consolidation_period_s=900.0)
+        ctx = ctx_for([lonely, busy, spare], placed=[straggler] + residents)
+        first = [a for a in policy.decide(ctx) if isinstance(a, Migrate)]
+        assert first
+        # Undo nothing; immediately ask again: throttled.
+        second = [a for a in policy.decide(ctx) if isinstance(a, Migrate)]
+        assert second == []
+
+    def test_migration_budget_respected(self):
+        policy = DynamicBackfillingPolicy(max_migrations_per_round=0)
+        lonely, busy, spare, straggler, residents = self._loaded()
+        ctx = ctx_for([lonely, busy, spare], placed=[straggler] + residents)
+        migrations = [a for a in policy.decide(ctx) if isinstance(a, Migrate)]
+        assert migrations == []
+
+    def test_never_migrates_to_emptier_host(self):
+        lonely, spare = make_host(0), make_host(1)
+        straggler = make_vm(1, cpu=100.0, runtime=7200.0)
+        run_vm(lonely, straggler)
+        policy = DynamicBackfillingPolicy()
+        ctx = ctx_for([lonely, spare], placed=[straggler])
+        migrations = [a for a in policy.decide(ctx) if isinstance(a, Migrate)]
+        assert migrations == []
+
+
+class TestScoreBasedPolicy:
+    def test_preset_names(self):
+        assert ScoreBasedPolicy(ScoreConfig.sb0()).name == "SB0"
+        assert ScoreBasedPolicy(ScoreConfig.sb1()).name == "SB1"
+        assert ScoreBasedPolicy(ScoreConfig.sb2()).name == "SB2"
+        assert ScoreBasedPolicy(ScoreConfig.sb()).name == "SB"
+        assert ScoreBasedPolicy(ScoreConfig.full()).name == "SB-full"
+
+    def test_places_queued_vm(self):
+        policy = ScoreBasedPolicy(ScoreConfig.sb())
+        actions = policy.decide(ctx_for([make_host(0)], [make_vm(1)]))
+        assert actions == [Place(vm_id=1, host_id=0)]
+
+    def test_migration_throttle(self):
+        lonely, busy = make_host(0), make_host(1)
+        straggler = make_vm(1, cpu=100.0, runtime=7200.0)
+        run_vm(lonely, straggler)
+        for i in range(2, 5):
+            run_vm(busy, make_vm(i, cpu=100.0))
+        policy = ScoreBasedPolicy(ScoreConfig.sb(consolidation_period_s=600.0))
+        placed = list(lonely.vms.values()) + list(busy.vms.values())
+        ctx0 = ctx_for([lonely, busy], placed=placed, now=0.0)
+        first = policy.decide(ctx0)
+        assert any(isinstance(a, Migrate) for a in first)
+        # Reset state as if nothing moved; next round within the period
+        # must not consider migrations.
+        ctx1 = ctx_for([lonely, busy], placed=placed, now=10.0)
+        assert policy.decide(ctx1) == []
+
+    def test_no_migration_preset_never_migrates(self):
+        lonely, busy = make_host(0), make_host(1)
+        straggler = make_vm(1, cpu=100.0, runtime=7200.0)
+        run_vm(lonely, straggler)
+        for i in range(2, 5):
+            run_vm(busy, make_vm(i, cpu=100.0))
+        policy = ScoreBasedPolicy(ScoreConfig.sb2())
+        placed = list(lonely.vms.values()) + list(busy.vms.values())
+        actions = policy.decide(ctx_for([lonely, busy], placed=placed))
+        assert all(not isinstance(a, Migrate) for a in actions)
+
+    def test_shutdown_ranking_prefers_stopping_slow_nodes(self):
+        fast = make_host(0, node_class=FAST)
+        slow = make_host(1, node_class=SLOW)
+        policy = ScoreBasedPolicy(ScoreConfig.sb())
+        ctx = ctx_for([fast, slow], queued=[make_vm(1)])
+        ranked = policy.host_shutdown_ranking(ctx, [fast, slow])
+        assert ranked[0] is slow
+
+    def test_shutdown_ranking_without_columns_uses_static_order(self):
+        fast = make_host(0, node_class=FAST)
+        slow = make_host(1, node_class=SLOW)
+        policy = ScoreBasedPolicy(ScoreConfig.sb())
+        ranked = policy.host_shutdown_ranking(ctx_for([fast, slow]), [fast, slow])
+        assert ranked[0] is slow
+
+
+class TestPowerManager:
+    def test_invalid_thresholds_rejected(self):
+        with pytest.raises(ConfigurationError):
+            PowerManagerConfig(lambda_min=0.9, lambda_max=0.3)
+
+    def test_ratio_one_when_nothing_online(self):
+        pm = PowerManager()
+        hosts = [make_host(0, state=HostState.OFF)]
+        assert pm.ratio(hosts) == 1.0
+
+    def test_boots_when_ratio_exceeds_lambda_max(self):
+        pm = PowerManager(PowerManagerConfig(lambda_min=0.3, lambda_max=0.5))
+        on = make_host(0)
+        run_vm(on, make_vm(1))
+        off = make_host(1, state=HostState.OFF)
+        actions = pm.control(ctx_for([on, off]), BackfillingPolicy())
+        assert TurnOn(host_id=1) in actions
+
+    def test_boots_nothing_within_band(self):
+        pm = PowerManager(PowerManagerConfig(lambda_min=0.3, lambda_max=0.9))
+        working = make_host(0)
+        run_vm(working, make_vm(1))
+        spare = make_host(1)
+        actions = pm.control(ctx_for([working, spare]), BackfillingPolicy())
+        assert actions == []
+
+    def test_shuts_down_idle_below_lambda_min(self):
+        pm = PowerManager(PowerManagerConfig(lambda_min=0.5, lambda_max=0.9,
+                                             spare_margin=0.1))
+        working = make_host(0)
+        run_vm(working, make_vm(1))
+        idle = [make_host(i) for i in range(1, 6)]
+        actions = pm.control(ctx_for([working] + idle), BackfillingPolicy())
+        offs = [a for a in actions if isinstance(a, TurnOff)]
+        # target online = ceil(1 / 0.6) = 2 -> turn off 4 of the 5 idles.
+        assert len(offs) == 4
+
+    def test_minexec_respected(self):
+        pm = PowerManager(PowerManagerConfig(lambda_min=0.5, lambda_max=0.9,
+                                             minexec=3))
+        idle = [make_host(i) for i in range(4)]
+        actions = pm.control(ctx_for(idle), BackfillingPolicy())
+        offs = [a for a in actions if isinstance(a, TurnOff)]
+        assert len(offs) <= 1  # 4 online - minexec 3
+
+    def test_boot_preference_prefers_fast_reliable(self):
+        pm = PowerManager(PowerManagerConfig(lambda_min=0.3, lambda_max=0.5))
+        on = make_host(0)
+        run_vm(on, make_vm(1))
+        slow_off = make_host(1, node_class=SLOW, state=HostState.OFF)
+        fast_off = make_host(2, node_class=FAST, state=HostState.OFF)
+        actions = pm.control(ctx_for([on, slow_off, fast_off]), BackfillingPolicy())
+        boots = [a for a in actions if isinstance(a, TurnOn)]
+        assert boots[0] == TurnOn(host_id=2)
+
+    def test_max_boots_per_round(self):
+        pm = PowerManager(PowerManagerConfig(lambda_min=0.3, lambda_max=0.4,
+                                             max_boots_per_round=2))
+        on = [make_host(i) for i in range(2)]
+        for i, h in enumerate(on):
+            run_vm(h, make_vm(i + 1))
+        off = [make_host(10 + i, state=HostState.OFF) for i in range(20)]
+        actions = pm.control(ctx_for(on + off), BackfillingPolicy())
+        boots = [a for a in actions if isinstance(a, TurnOn)]
+        assert len(boots) == 2
+
+    def test_working_count_includes_operations(self):
+        host = make_host(0)
+        from repro.cluster.host import Operation, OperationKind
+        host.begin_operation(Operation(OperationKind.CREATE, 1, 100.0, 0.0, 40.0))
+        assert PowerManager.working_count([host]) == 1

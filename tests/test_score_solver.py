@@ -1,0 +1,131 @@
+"""Tests for the hill-climbing solver (Algorithm 1)."""
+
+import numpy as np
+import pytest
+
+from repro.cluster.host import Host, HostState
+from repro.cluster.spec import FAST, MEDIUM, SLOW, HostSpec
+from repro.cluster.vm import Vm, VmState
+from repro.scheduling.score import ScoreConfig, ScoreMatrixBuilder, hill_climb
+from repro.workload.job import Job
+
+
+def make_vm(vm_id, cpu=100.0, mem=512.0, runtime=3600.0):
+    job = Job(job_id=vm_id, submit_time=0.0, runtime_s=runtime,
+              cpu_pct=cpu, mem_mb=mem)
+    return Vm(job)
+
+
+def make_host(host_id, node_class=MEDIUM, state=HostState.ON, **kw):
+    return Host(HostSpec(host_id=host_id, node_class=node_class, **kw),
+                initial_state=state)
+
+
+def build(hosts, vms, now=0.0, config=None):
+    return ScoreMatrixBuilder(hosts, vms, now, config or ScoreConfig.sb())
+
+
+class TestPlacement:
+    def test_queued_vm_gets_placed(self):
+        moves = hill_climb(build([make_host(0)], [make_vm(1)]))
+        assert len(moves) == 1
+        assert moves[0].vm_id == 1
+        assert moves[0].host_id == 0
+        assert moves[0].from_queue
+
+    def test_no_feasible_host_no_moves(self):
+        host = make_host(0, state=HostState.OFF)
+        moves = hill_climb(build([host], [make_vm(1)]))
+        assert moves == []
+
+    def test_each_vm_moves_at_most_once(self):
+        hosts = [make_host(0), make_host(1)]
+        vms = [make_vm(i) for i in range(1, 4)]
+        moves = hill_climb(build(hosts, vms))
+        assert len(moves) == len({m.vm_id for m in moves})
+
+    def test_placements_respect_capacity_jointly(self):
+        # One host, two full-width VMs: only one can be placed.
+        hosts = [make_host(0)]
+        vms = [make_vm(1, cpu=400.0), make_vm(2, cpu=400.0)]
+        moves = hill_climb(build(hosts, vms))
+        assert len(moves) == 1
+
+    def test_consolidates_onto_fuller_host(self):
+        busy, empty = make_host(0), make_host(1)
+        resident = make_vm(9, cpu=200.0)
+        resident.state = VmState.RUNNING
+        busy.add_vm(resident)
+        moves = hill_climb(build([busy, empty], [make_vm(1, cpu=100.0)]))
+        assert moves[0].host_id == busy.host_id
+
+    def test_iteration_limit_respected(self):
+        hosts = [make_host(i) for i in range(3)]
+        vms = [make_vm(i) for i in range(1, 9)]
+        moves = hill_climb(build(hosts, vms), max_moves=2)
+        assert len(moves) <= 2
+
+
+class TestMigration:
+    def test_straggler_migrates_to_fuller_host(self):
+        lonely, busy = make_host(0), make_host(1)
+        straggler = make_vm(1, cpu=100.0, runtime=7200.0)
+        straggler.state = VmState.RUNNING
+        lonely.add_vm(straggler)
+        for i in range(2, 5):
+            vm = make_vm(i, cpu=100.0)
+            vm.state = VmState.RUNNING
+            busy.add_vm(vm)
+        moves = hill_climb(build([lonely, busy], [straggler]))
+        assert len(moves) == 1
+        assert moves[0].host_id == busy.host_id
+        assert not moves[0].from_queue
+
+    def test_no_migration_without_empty_penalty(self):
+        """Table V's C_e = 0 row: the fillable reward alone cannot beat
+        the migration friction, so nothing moves."""
+        lonely, busy = make_host(0), make_host(1)
+        straggler = make_vm(1, cpu=100.0, runtime=7200.0)
+        straggler.state = VmState.RUNNING
+        lonely.add_vm(straggler)
+        for i in range(2, 5):
+            vm = make_vm(i, cpu=100.0)
+            vm.state = VmState.RUNNING
+            busy.add_vm(vm)
+        config = ScoreConfig.sb(c_empty=0.0, c_fill=40.0)
+        moves = hill_climb(build([lonely, busy], [straggler], config=config))
+        assert moves == []
+
+    def test_finishing_vm_not_migrated(self):
+        """Tr < Cm: the doubled penalty pins jobs about to finish."""
+        lonely, busy = make_host(0), make_host(1)
+        finishing = make_vm(1, cpu=100.0, runtime=30.0)  # Tr=30 < Cm=60
+        finishing.state = VmState.RUNNING
+        lonely.add_vm(finishing)
+        for i in range(2, 5):
+            vm = make_vm(i, cpu=100.0)
+            vm.state = VmState.RUNNING
+            busy.add_vm(vm)
+        moves = hill_climb(build([lonely, busy], [finishing]))
+        assert moves == []
+
+
+class TestGains:
+    def test_gains_are_negative(self):
+        hosts = [make_host(0), make_host(1)]
+        vms = [make_vm(i) for i in range(1, 4)]
+        for move in hill_climb(build(hosts, vms)):
+            assert move.gain < 0
+
+    def test_greedy_picks_best_first(self):
+        # Queued VMs tie on queue cost; the first placed is the one whose
+        # best cell is cheapest.
+        fast, slow = make_host(0, node_class=FAST), make_host(1, node_class=SLOW)
+        cfg = ScoreConfig(enable_virt=True, enable_conc=False, enable_pwr=False)
+        vms = [make_vm(1), make_vm(2)]
+        moves = hill_climb(build([fast, slow], vms, config=cfg))
+        # Both end up on the fast host (enough room; no power penalty).
+        assert all(m.host_id == fast.host_id for m in moves)
+
+    def test_empty_matrix_returns_no_moves(self):
+        assert hill_climb(build([make_host(0)], [])) == []

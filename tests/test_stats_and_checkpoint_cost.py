@@ -1,0 +1,89 @@
+"""Tests for replication statistics and the checkpoint-cost extension."""
+
+import pytest
+
+from repro.cluster.spec import ClusterSpec
+from repro.engine.config import EngineConfig
+from repro.engine.datacenter import simulate
+from repro.errors import ConfigurationError
+from repro.experiments.stats import replicate, summarize
+from repro.scheduling.baselines import BackfillingPolicy
+from repro.units import HOUR
+from repro.workload.synthetic import Grid5000WeekGenerator, SyntheticConfig
+
+
+class TestSummarize:
+    def test_mean_and_ci(self):
+        m = summarize("x", [10.0, 12.0, 14.0])
+        assert m.mean == pytest.approx(12.0)
+        assert m.std == pytest.approx(2.0)
+        assert m.ci95 > 0.0
+        assert m.n == 3
+
+    def test_single_value_rejected(self):
+        with pytest.raises(ConfigurationError):
+            summarize("x", [1.0])
+
+    def test_identical_values_zero_ci(self):
+        m = summarize("x", [5.0, 5.0, 5.0, 5.0])
+        assert m.ci95 == 0.0
+
+    def test_str(self):
+        assert "±" in str(summarize("metric", [1.0, 2.0]))
+
+
+class TestReplicate:
+    def _run_one(self, seed):
+        trace = Grid5000WeekGenerator(
+            SyntheticConfig(horizon_s=2 * HOUR, base_rate_per_hour=25.0,
+                            night_fraction=0.7),
+            seed=seed,
+        ).generate()
+        return simulate(ClusterSpec.homogeneous(6), BackfillingPolicy(),
+                        trace, config=EngineConfig(seed=seed))
+
+    def test_replication_over_seeds(self):
+        out = replicate(self._run_one, seeds=[1, 2, 3])
+        assert set(out) == {"energy_kwh", "satisfaction", "migrations"}
+        assert out["energy_kwh"].n == 3
+        # Different seeds genuinely vary the world.
+        assert out["energy_kwh"].std > 0.0
+
+    def test_too_few_seeds_rejected(self):
+        with pytest.raises(ConfigurationError):
+            replicate(self._run_one, seeds=[1])
+
+
+class TestCheckpointCost:
+    def _run(self, **cfg_kwargs):
+        trace = Grid5000WeekGenerator(
+            SyntheticConfig(horizon_s=3 * HOUR, base_rate_per_hour=25.0,
+                            night_fraction=0.7),
+            seed=4,
+        ).generate()
+        return simulate(
+            ClusterSpec.homogeneous(6), BackfillingPolicy(), trace,
+            config=EngineConfig(seed=4, **cfg_kwargs),
+        )
+
+    def test_costed_checkpoints_complete_cleanly(self):
+        result = self._run(checkpoint_interval_s=600.0,
+                           checkpoint_cpu_pct=100.0,
+                           checkpoint_duration_s=10.0)
+        assert result.n_completed == result.n_jobs
+
+    def test_checkpoint_cost_is_negligible(self):
+        """The §IV claim this repo verifies: costing snapshots moves
+        energy by well under a percent."""
+        free = self._run(checkpoint_interval_s=600.0)
+        costed = self._run(checkpoint_interval_s=600.0,
+                           checkpoint_cpu_pct=100.0,
+                           checkpoint_duration_s=10.0)
+        rel = abs(costed.energy_kwh - free.energy_kwh) / free.energy_kwh
+        assert rel < 0.01
+
+    def test_invalid_cost_params_rejected(self):
+        with pytest.raises(ConfigurationError):
+            EngineConfig(checkpoint_cpu_pct=-1.0)
+        with pytest.raises(ConfigurationError):
+            EngineConfig(checkpoint_duration_s=0.0)

@@ -1,0 +1,140 @@
+"""Tests for event tracing and decision explanation."""
+
+import math
+
+import pytest
+
+from repro.cluster.host import Host, HostState
+from repro.cluster.spec import FAST, SLOW, ClusterSpec, HostSpec
+from repro.cluster.vm import Vm, VmState
+from repro.engine.config import EngineConfig
+from repro.engine.datacenter import DatacenterSimulation
+from repro.engine.tracing import EventTrace, TraceEventKind
+from repro.scheduling.baselines import BackfillingPolicy
+from repro.scheduling.score import ScoreConfig
+from repro.scheduling.score.explain import explain_cell, explain_decision
+from repro.scheduling.score.policy import ScoreBasedPolicy
+from repro.units import HOUR
+from repro.workload.job import Job
+from repro.workload.synthetic import Grid5000WeekGenerator, SyntheticConfig
+from repro.workload.trace import Trace
+
+
+class TestEventTrace:
+    def test_emit_and_query(self):
+        log = EventTrace()
+        log.emit(1.0, TraceEventKind.PLACEMENT, vm_id=1, host_id=2)
+        log.emit(2.0, TraceEventKind.COMPLETION, vm_id=1, host_id=2)
+        log.emit(3.0, TraceEventKind.BOOT_START, host_id=5)
+        assert len(log) == 3
+        assert len(log.for_vm(1)) == 2
+        assert len(log.for_host(5)) == 1
+        assert len(log.of_kind(TraceEventKind.PLACEMENT)) == 1
+
+    def test_capacity_drops_fifo(self):
+        log = EventTrace(capacity=3)
+        for i in range(5):
+            log.emit(float(i), TraceEventKind.PLACEMENT, vm_id=i)
+        assert len(log) == 3
+        assert log.dropped == 2
+        assert log.records[0].vm_id == 2  # oldest two dropped
+
+    def test_counts(self):
+        log = EventTrace()
+        log.emit(0.0, TraceEventKind.PLACEMENT)
+        log.emit(1.0, TraceEventKind.PLACEMENT)
+        assert log.counts() == {"placement": 2}
+
+    def test_story_renders(self):
+        log = EventTrace()
+        log.emit(1.0, TraceEventKind.PLACEMENT, vm_id=7, host_id=0)
+        assert "vm=7" in log.story(7)
+        assert "no records" in log.story(99)
+
+
+class TestEngineTracing:
+    def _run(self):
+        trace = Grid5000WeekGenerator(
+            SyntheticConfig(horizon_s=4 * HOUR, base_rate_per_hour=30.0,
+                            night_fraction=0.6), seed=5
+        ).generate()
+        engine = DatacenterSimulation(
+            cluster=ClusterSpec.homogeneous(8),
+            policy=ScoreBasedPolicy(ScoreConfig.sb()),
+            trace=trace,
+            config=EngineConfig(seed=5, trace_events=True),
+        )
+        engine.run()
+        return engine
+
+    def test_trace_collects_lifecycle(self):
+        engine = self._run()
+        log = engine.trace_log
+        counts = log.counts()
+        assert counts["job_arrival"] == len(engine.trace)
+        assert counts["placement"] >= len(engine.trace)  # re-creations possible
+        assert counts["completion"] == len(engine.trace)
+        assert counts.get("creation_done", 0) >= counts["completion"]
+
+    def test_vm_story_is_ordered(self):
+        engine = self._run()
+        vm_id = next(iter(engine.vms))
+        records = engine.trace_log.for_vm(vm_id)
+        times = [r.time for r in records]
+        assert times == sorted(times)
+        kinds = [r.kind for r in records]
+        assert kinds[0] is TraceEventKind.JOB_ARRIVAL
+        assert kinds[-1] is TraceEventKind.COMPLETION
+
+    def test_tracing_off_by_default(self):
+        trace = Trace([Job(job_id=1, submit_time=0.0, runtime_s=60.0,
+                           cpu_pct=100.0, mem_mb=256.0)])
+        engine = DatacenterSimulation(
+            cluster=ClusterSpec.homogeneous(2),
+            policy=BackfillingPolicy(),
+            trace=trace,
+            config=EngineConfig(seed=1),
+        )
+        engine.run()
+        assert engine.trace_log is None
+
+
+def make_vm(vm_id=1, cpu=100.0, runtime=3600.0):
+    job = Job(job_id=vm_id, submit_time=0.0, runtime_s=runtime,
+              cpu_pct=cpu, mem_mb=512.0)
+    return Vm(job)
+
+
+class TestExplain:
+    def test_cell_matches_matrix_total(self):
+        from repro.scheduling.score.matrix import ScoreMatrixBuilder
+        host = Host(HostSpec(host_id=0), initial_state=HostState.ON)
+        vm = make_vm(1)
+        config = ScoreConfig.sb()
+        cell = explain_cell(host, vm, 0.0, config)
+        builder = ScoreMatrixBuilder([host], [vm], 0.0, config)
+        assert cell.total == pytest.approx(builder.scores[0, 0])
+
+    def test_infeasible_cell_reported(self):
+        host = Host(HostSpec(host_id=0), initial_state=HostState.OFF)
+        cell = explain_cell(host, make_vm(1), 0.0)
+        assert not cell.feasible
+        assert "infeasible" in str(cell)
+
+    def test_breakdown_components_sum(self):
+        host = Host(HostSpec(host_id=0, node_class=SLOW), initial_state=HostState.ON)
+        cell = explain_cell(host, make_vm(1), 0.0, ScoreConfig.sb())
+        assert sum(cell.breakdown().values()) == pytest.approx(cell.total)
+
+    def test_decision_ranks_fast_creation_first(self):
+        fast = Host(HostSpec(host_id=0, node_class=FAST), initial_state=HostState.ON)
+        slow = Host(HostSpec(host_id=1, node_class=SLOW), initial_state=HostState.ON)
+        config = ScoreConfig(enable_virt=True, enable_conc=False, enable_pwr=False)
+        decision = explain_decision([slow, fast], make_vm(1), 0.0, config)
+        assert decision.best.host_id == fast.host_id
+        assert "vm 1" in str(decision)
+
+    def test_no_feasible_host_best_is_none(self):
+        off = Host(HostSpec(host_id=0), initial_state=HostState.OFF)
+        decision = explain_decision([off], make_vm(1), 0.0)
+        assert decision.best is None

@@ -1,0 +1,108 @@
+"""Tests for units helpers, the error hierarchy, and text visualization."""
+
+import pytest
+
+from repro import errors
+from repro.errors import (
+    CapacityError,
+    ConfigurationError,
+    ReproError,
+    SchedulingError,
+    SimulationError,
+    StateError,
+    TraceFormatError,
+)
+from repro.units import (
+    DAY,
+    HOUR,
+    MINUTE,
+    WEEK,
+    clamp,
+    days,
+    hours,
+    minutes,
+    seconds,
+    to_hours,
+    watt_seconds_to_wh,
+    wh_to_kwh,
+)
+from repro.viz import heatmap, series_panel, sparkline
+
+
+class TestUnits:
+    def test_constants(self):
+        assert MINUTE == 60.0
+        assert HOUR == 3600.0
+        assert DAY == 24 * HOUR
+        assert WEEK == 7 * DAY
+
+    def test_converters(self):
+        assert seconds(5) == 5.0
+        assert minutes(2) == 120.0
+        assert hours(1.5) == 5400.0
+        assert days(2) == 172800.0
+        assert to_hours(7200.0) == 2.0
+
+    def test_energy_conversions(self):
+        assert watt_seconds_to_wh(3600.0) == 1.0
+        assert wh_to_kwh(1500.0) == 1.5
+
+    def test_clamp(self):
+        assert clamp(5.0, 0.0, 10.0) == 5.0
+        assert clamp(-1.0, 0.0, 10.0) == 0.0
+        assert clamp(11.0, 0.0, 10.0) == 10.0
+
+
+class TestErrors:
+    def test_hierarchy(self):
+        for exc in (ConfigurationError, SimulationError, SchedulingError,
+                    StateError, TraceFormatError):
+            assert issubclass(exc, ReproError)
+        assert issubclass(CapacityError, SchedulingError)
+
+    def test_catchable_as_family(self):
+        with pytest.raises(ReproError):
+            raise CapacityError("full")
+
+
+class TestSparkline:
+    def test_monotone_ramp(self):
+        assert sparkline([0, 1, 2, 3], width=4) == " ▃▅█"
+
+    def test_flat_series(self):
+        line = sparkline([5.0] * 10, width=5)
+        assert len(line) == 5
+        assert len(set(line)) == 1
+
+    def test_empty_series(self):
+        assert sparkline([]) == ""
+
+    def test_resampling_width(self):
+        assert len(sparkline(list(range(1000)), width=40)) == 40
+
+    def test_invalid_width(self):
+        with pytest.raises(ConfigurationError):
+            sparkline([1.0], width=0)
+
+
+class TestHeatmap:
+    def test_renders_grid(self):
+        cells = {(0.1, 0.5): 100.0, (0.1, 0.9): 50.0,
+                 (0.3, 0.5): 80.0, (0.3, 0.9): 20.0}
+        text = heatmap(cells, fmt=".0f")
+        assert "100" in text and "20" in text
+        assert len(text.splitlines()) == 3  # header + 2 rows
+
+    def test_missing_cells_dotted(self):
+        cells = {(0.1, 0.5): 1.0, (0.3, 0.9): 2.0}
+        assert "·" in heatmap(cells)
+
+    def test_empty(self):
+        assert heatmap({}) == "(empty)"
+
+
+class TestSeriesPanel:
+    def test_labels_and_ranges(self):
+        text = series_panel([("real", [1.0, 2.0]), ("sim", [1.5, 1.5])], width=10)
+        assert "real" in text and "sim" in text
+        assert "[1..2]" in text

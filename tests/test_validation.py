@@ -1,0 +1,93 @@
+"""Tests for the validation substrate (MicroTestbed + Fig. 1 comparison)."""
+
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.validation import (
+    PAPER_VALIDATION_TASKS,
+    MicroTestbed,
+    ValidationTask,
+    validate_simulator,
+)
+from repro.validation.compare import run_coarse_simulation
+
+
+class TestValidationTasks:
+    def test_paper_script_has_seven_tasks(self):
+        assert len(PAPER_VALIDATION_TASKS) == 7
+
+    def test_paper_script_spans_about_1300s(self):
+        end = max(t.submit_s + t.runtime_s for t in PAPER_VALIDATION_TASKS)
+        assert 1200.0 <= end <= 1400.0
+
+    def test_invalid_task_rejected(self):
+        with pytest.raises(ConfigurationError):
+            ValidationTask(1, submit_s=0.0, runtime_s=0.0, cpu_pct=100.0)
+
+
+class TestMicroTestbed:
+    def test_run_is_deterministic(self):
+        t1 = MicroTestbed(seed=3).run()
+        t2 = MicroTestbed(seed=3).run()
+        assert t1.watts == t2.watts
+
+    def test_different_seed_different_noise(self):
+        t1 = MicroTestbed(seed=3).run()
+        t2 = MicroTestbed(seed=4).run()
+        assert t1.watts != t2.watts
+
+    def test_all_tasks_finish(self):
+        trace = MicroTestbed(seed=3).run()
+        assert set(trace.finish_times) == {t.task_id for t in PAPER_VALIDATION_TASKS}
+
+    def test_power_between_zero_and_plausible_max(self):
+        trace = MicroTestbed(seed=3).run()
+        assert all(0.0 <= w <= 340.0 for w in trace.watts)
+
+    def test_energy_in_paper_ballpark(self):
+        """The paper measured 99.9 ± 1.8 Wh on this script."""
+        trace = MicroTestbed(seed=3).run()
+        assert 85.0 <= trace.energy_wh <= 115.0
+
+    def test_idle_periods_draw_idle_power(self):
+        tb = MicroTestbed(seed=3, noise_w=0.0, background_w=0.0)
+        trace = tb.run()
+        # t=380 falls in the idle gap between task 3 (~290) and task 4 (400).
+        idx = trace.times.index(380.0)
+        assert trace.watts[idx] == pytest.approx(230.0, abs=1.0)
+
+    def test_steady_state_layout_independence(self):
+        tb = MicroTestbed(seed=3, noise_w=0.5)
+        merged = tb.steady_state_power([300.0])
+        split = tb.steady_state_power([100.0, 100.0, 100.0])
+        assert merged == pytest.approx(split, abs=2.0)
+
+    def test_steady_state_monotone_in_load(self):
+        tb = MicroTestbed(seed=3, noise_w=0.0)
+        assert tb.steady_state_power([100.0]) < tb.steady_state_power([300.0])
+
+
+class TestFig1Comparison:
+    def test_report_matches_paper_shape(self):
+        report = validate_simulator(seed=11)
+        # Totals agree within a few percent (paper: -2.4 %)...
+        assert abs(report.total_error_pct) < 6.0
+        # ...and the simulated total is the *under*estimate, because the
+        # testbed carries background activity the coarse model omits.
+        assert report.simulated_energy_wh < report.real_energy_wh
+        # Instantaneous error is nonzero but bounded.
+        assert 0.0 < report.instantaneous_mean_abs_w < 30.0
+
+    def test_series_are_aligned(self):
+        report = validate_simulator(seed=11)
+        assert len(report.times) == len(report.real_watts)
+        assert len(report.times) == len(report.simulated_watts)
+
+    def test_coarse_run_completes_all_tasks(self):
+        engine = run_coarse_simulation(seed=11)
+        assert all(vm.job.finish_time is not None for vm in engine.vms.values())
+
+    def test_str_is_informative(self):
+        report = validate_simulator(seed=11)
+        text = str(report)
+        assert "Wh" in text and "%" in text

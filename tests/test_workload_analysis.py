@@ -1,0 +1,105 @@
+"""Tests for workload characterization (:mod:`repro.workload.analysis`)."""
+
+import numpy as np
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.units import DAY, HOUR
+from repro.workload.analysis import (
+    demand_timeline,
+    hourly_arrival_counts,
+    peak_demand,
+    runtime_histogram,
+    utilization_against,
+    width_histogram,
+)
+from repro.workload.job import Job
+from repro.workload.synthetic import Grid5000WeekGenerator, SyntheticConfig
+from repro.workload.trace import Trace
+
+
+def job(job_id, submit, runtime, cores=1):
+    return Job(job_id=job_id, submit_time=submit, runtime_s=runtime,
+               cpu_pct=cores * 100.0, mem_mb=256.0)
+
+
+class TestDemandTimeline:
+    def test_single_job_rectangle(self):
+        trace = Trace([job(1, submit=100.0, runtime=600.0, cores=2)])
+        times, demand = demand_timeline(trace, step_s=100.0)
+        assert demand.max() == pytest.approx(2.0)
+        # Busy through [100, 700): occupied at the 100..700 sample points.
+        assert demand[0] == 0.0
+        assert demand[1] == 2.0
+
+    def test_overlap_sums(self):
+        trace = Trace([
+            job(1, submit=0.0, runtime=1000.0, cores=1),
+            job(2, submit=500.0, runtime=1000.0, cores=3),
+        ])
+        assert peak_demand(trace, step_s=100.0) == pytest.approx(4.0)
+
+    def test_empty_trace(self):
+        times, demand = demand_timeline(Trace([]))
+        assert times.size == 0 and demand.size == 0
+
+    def test_invalid_step_rejected(self):
+        with pytest.raises(ConfigurationError):
+            demand_timeline(Trace([job(1, 0.0, 100.0)]), step_s=0.0)
+
+    def test_integral_matches_cpu_hours(self):
+        """Property: the demand integral equals the trace's CPU·h."""
+        trace = Grid5000WeekGenerator(
+            SyntheticConfig(horizon_s=DAY), seed=9
+        ).generate()
+        step = 60.0
+        _, demand = demand_timeline(trace, step_s=step)
+        integral_h = float(demand.sum()) * step / 3600.0
+        assert integral_h == pytest.approx(
+            trace.stats().total_cpu_hours, rel=0.02
+        )
+
+
+class TestHistograms:
+    def test_hourly_counts_sum_to_jobs(self):
+        trace = Grid5000WeekGenerator(
+            SyntheticConfig(horizon_s=DAY), seed=9
+        ).generate()
+        counts = hourly_arrival_counts(trace)
+        assert counts.sum() == len(trace)
+        assert counts.shape == (24,)
+
+    def test_diurnal_pattern_visible(self):
+        trace = Grid5000WeekGenerator(seed=9).generate()
+        counts = hourly_arrival_counts(trace)
+        assert counts[14] > counts[3]  # afternoon >> night
+
+    def test_runtime_histogram_buckets(self):
+        trace = Trace([
+            job(1, 0.0, 200.0),      # 0-5m
+            job(2, 0.0, 1800.0),     # 15m-60m
+            job(3, 0.0, 7200.0),     # 60m-240m
+        ])
+        counts = runtime_histogram(trace)
+        assert sum(counts.values()) == 3
+
+    def test_runtime_histogram_bad_edges(self):
+        with pytest.raises(ConfigurationError):
+            runtime_histogram(Trace([]), edges_s=(100.0, 50.0))
+
+    def test_width_histogram(self):
+        trace = Trace([job(1, 0.0, 100.0, cores=1),
+                       job(2, 0.0, 100.0, cores=1),
+                       job(3, 0.0, 100.0, cores=4)])
+        assert width_histogram(trace) == {1: 2, 4: 1}
+
+
+class TestUtilization:
+    def test_fraction_of_capacity(self):
+        trace = Trace([job(1, 0.0, 3600.0, cores=2)])
+        u = utilization_against(trace, total_cores=4.0, step_s=60.0)
+        assert 0.4 <= u <= 0.55  # ~2 of 4 cores through the window
+
+    def test_invalid_capacity_rejected(self):
+        with pytest.raises(ConfigurationError):
+            utilization_against(Trace([]), total_cores=0.0)

@@ -1,0 +1,112 @@
+"""Tests for the job model (:mod:`repro.workload.job`)."""
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.errors import ConfigurationError, StateError
+from repro.workload.job import Job, JobState
+
+
+def make_job(**kwargs):
+    defaults = dict(
+        job_id=1, submit_time=0.0, runtime_s=600.0, cpu_pct=100.0, mem_mb=512.0
+    )
+    defaults.update(kwargs)
+    return Job(**defaults)
+
+
+class TestValidation:
+    def test_zero_runtime_rejected(self):
+        with pytest.raises(ConfigurationError):
+            make_job(runtime_s=0.0)
+
+    def test_zero_cpu_rejected(self):
+        with pytest.raises(ConfigurationError):
+            make_job(cpu_pct=0.0)
+
+    def test_negative_memory_rejected(self):
+        with pytest.raises(ConfigurationError):
+            make_job(mem_mb=-1.0)
+
+    def test_deadline_factor_below_one_rejected(self):
+        with pytest.raises(ConfigurationError):
+            make_job(deadline_factor=0.9)
+
+    def test_fault_tolerance_out_of_range_rejected(self):
+        with pytest.raises(ConfigurationError):
+            make_job(fault_tolerance=1.5)
+
+
+class TestDerived:
+    def test_deadline_from_factor(self):
+        job = make_job(submit_time=100.0, runtime_s=600.0, deadline_factor=1.5)
+        assert job.deadline == pytest.approx(100.0 + 900.0)
+        assert job.allowed_exec_time == pytest.approx(900.0)
+
+    def test_cores_from_cpu_pct(self):
+        assert make_job(cpu_pct=250.0).cores == pytest.approx(2.5)
+
+    def test_work_is_runtime_times_cpu(self):
+        job = make_job(runtime_s=600.0, cpu_pct=200.0)
+        assert job.work == pytest.approx(120000.0)
+
+    def test_exec_time_requires_finish(self):
+        with pytest.raises(StateError):
+            make_job().exec_time
+
+
+class TestSatisfaction:
+    """The paper's formula: 100 within deadline, 0 at twice the deadline."""
+
+    def test_on_time_is_100(self):
+        job = make_job(runtime_s=600.0, deadline_factor=1.5)
+        job.state = JobState.COMPLETED
+        job.finish_time = 800.0  # deadline is 900
+        assert job.satisfaction() == 100.0
+
+    def test_paper_example_zero_at_double_deadline(self):
+        # "a job with a factor of 1.5 that takes 100 minutes ... if it
+        #  would take more than 300 minutes ... satisfaction of 0% and a
+        #  delay of 200%"
+        job = make_job(runtime_s=6000.0, deadline_factor=1.5)
+        job.state = JobState.COMPLETED
+        job.finish_time = 18000.0  # 300 min
+        assert job.satisfaction() == 0.0
+        assert job.delay_pct() == pytest.approx(200.0)
+
+    def test_halfway_overrun_is_50(self):
+        job = make_job(runtime_s=600.0, deadline_factor=1.5)
+        job.state = JobState.COMPLETED
+        job.finish_time = 1350.0  # deadline 900, 1.5x deadline
+        assert job.satisfaction() == pytest.approx(50.0)
+
+    def test_unfinished_job_scores_zero(self):
+        assert make_job().satisfaction() == 0.0
+
+    def test_failed_job_scores_zero(self):
+        job = make_job()
+        job.state = JobState.FAILED
+        job.finish_time = 100.0
+        assert job.satisfaction() == 0.0
+
+    def test_delay_zero_when_faster_than_runtime(self):
+        job = make_job(runtime_s=600.0)
+        job.state = JobState.COMPLETED
+        job.finish_time = 600.0
+        assert job.delay_pct() == 0.0
+
+    @given(
+        runtime=st.floats(min_value=60.0, max_value=86400.0),
+        factor=st.floats(min_value=1.0, max_value=3.0),
+        stretch=st.floats(min_value=1.0, max_value=10.0),
+    )
+    def test_satisfaction_bounded_and_monotone(self, runtime, factor, stretch):
+        """Property: S ∈ [0, 100]; more stretch never increases S."""
+        job = make_job(runtime_s=runtime, deadline_factor=factor)
+        job.state = JobState.COMPLETED
+        job.finish_time = job.submit_time + runtime * stretch
+        s1 = job.satisfaction()
+        job.finish_time = job.submit_time + runtime * stretch * 1.1
+        s2 = job.satisfaction()
+        assert 0.0 <= s1 <= 100.0
+        assert s2 <= s1 + 1e-9

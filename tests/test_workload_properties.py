@@ -1,0 +1,106 @@
+"""Hypothesis property tests for the workload pipeline.
+
+Round-trips and transformation laws: SWF serialization preserves what it
+models, windows partition traces, scaling composes, deadlines stay in
+range for arbitrary jobs.
+"""
+
+import io
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.workload.deadlines import DeadlinePolicy
+from repro.workload.job import Job
+from repro.workload.swf import read_swf, write_swf
+from repro.workload.trace import Trace
+
+
+@st.composite
+def jobs(draw, max_jobs=20):
+    n = draw(st.integers(min_value=1, max_value=max_jobs))
+    out = []
+    for i in range(n):
+        out.append(
+            Job(
+                job_id=i + 1,
+                submit_time=float(draw(st.integers(min_value=0, max_value=10**6))),
+                runtime_s=float(draw(st.integers(min_value=1, max_value=10**5))),
+                cpu_pct=100.0 * draw(st.integers(min_value=1, max_value=16)),
+                mem_mb=float(draw(st.integers(min_value=1, max_value=65536))),
+                deadline_factor=draw(st.floats(min_value=1.0, max_value=3.0)),
+                user=f"u{draw(st.integers(min_value=0, max_value=99))}",
+            )
+        )
+    return Trace(out)
+
+
+class TestSwfRoundTrip:
+    @settings(max_examples=40, deadline=None)
+    @given(trace=jobs())
+    def test_roundtrip_preserves_modeled_fields(self, trace):
+        buf = io.StringIO()
+        write_swf(trace, buf)
+        buf.seek(0)
+        parsed = read_swf(buf)
+        assert len(parsed) == len(trace)
+        for a, b in zip(trace, parsed):
+            assert b.job_id == a.job_id
+            assert b.submit_time == pytest.approx(a.submit_time, abs=1.0)
+            assert b.runtime_s == pytest.approx(a.runtime_s, abs=1.0)
+            # SWF stores whole processors: width rounds.
+            assert b.cores == max(1, round(a.cores))
+
+
+class TestTraceLaws:
+    @settings(max_examples=40, deadline=None)
+    @given(trace=jobs(), cut=st.floats(min_value=0.1, max_value=0.9))
+    def test_window_partitions(self, trace, cut):
+        """Jobs split between [0, t) and [t, end] with none lost."""
+        end = max(j.submit_time for j in trace) + 1.0
+        t = cut * end
+        left = trace.window(0.0, t, rebase=False)
+        right = trace.window(t, end + 1.0, rebase=False)
+        assert len(left) + len(right) == len(trace)
+
+    @settings(max_examples=40, deadline=None)
+    @given(trace=jobs(), f1=st.floats(min_value=0.5, max_value=2.0),
+           f2=st.floats(min_value=0.5, max_value=2.0))
+    def test_scaling_composes(self, trace, f1, f2):
+        once = trace.scaled(runtime=f1 * f2)
+        twice = trace.scaled(runtime=f1).scaled(runtime=f2)
+        for a, b in zip(once, twice):
+            assert a.runtime_s == pytest.approx(b.runtime_s, rel=1e-12)
+
+    @settings(max_examples=40, deadline=None)
+    @given(trace=jobs())
+    def test_fresh_preserves_identity_fields(self, trace):
+        copy = trace.fresh()
+        for a, b in zip(trace, copy):
+            assert (a.job_id, a.submit_time, a.runtime_s, a.cpu_pct) == (
+                b.job_id, b.submit_time, b.runtime_s, b.cpu_pct
+            )
+            assert b is not a
+
+    @settings(max_examples=40, deadline=None)
+    @given(trace=jobs())
+    def test_stats_cpu_hours_nonnegative_and_additive(self, trace):
+        stats = trace.stats()
+        manual = sum(j.runtime_s * j.cores for j in trace) / 3600.0
+        assert stats.total_cpu_hours == pytest.approx(manual, rel=1e-9)
+
+
+class TestDeadlineLaws:
+    @settings(max_examples=60, deadline=None)
+    @given(
+        runtime=st.floats(min_value=1.0, max_value=1e6),
+        user=st.integers(min_value=0, max_value=10**6),
+        lo=st.floats(min_value=1.0, max_value=1.5),
+        span=st.floats(min_value=0.0, max_value=1.5),
+    )
+    def test_factor_always_in_range(self, runtime, user, lo, span):
+        policy = DeadlinePolicy(lo=lo, hi=lo + span)
+        job = Job(job_id=1, submit_time=0.0, runtime_s=runtime,
+                  cpu_pct=100.0, mem_mb=256.0, user=f"u{user}")
+        factor = policy.factor(job)
+        assert lo - 1e-9 <= factor <= lo + span + 1e-9

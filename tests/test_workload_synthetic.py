@@ -1,0 +1,127 @@
+"""Tests for the synthetic Grid5000 generator and deadline assignment."""
+
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.units import DAY, HOUR, WEEK
+from repro.workload import (
+    DeadlinePolicy,
+    Grid5000WeekGenerator,
+    SyntheticConfig,
+    assign_deadlines,
+)
+from repro.workload.job import Job
+from repro.workload.trace import Trace
+
+SMALL = SyntheticConfig(horizon_s=DAY)
+
+
+class TestConfigValidation:
+    def test_negative_horizon_rejected(self):
+        with pytest.raises(ConfigurationError):
+            SyntheticConfig(horizon_s=-1.0)
+
+    def test_bad_width_pmf_rejected(self):
+        with pytest.raises(ConfigurationError):
+            SyntheticConfig(width_pmf=((1, 0.5), (2, 0.6)))
+
+    def test_bad_rate_rejected(self):
+        with pytest.raises(ConfigurationError):
+            SyntheticConfig(base_rate_per_hour=0.0)
+
+    def test_bad_runtime_bounds_rejected(self):
+        with pytest.raises(ConfigurationError):
+            SyntheticConfig(runtime_min_s=100.0, runtime_max_s=50.0)
+
+    def test_unknown_diurnal_shape_rejected(self):
+        with pytest.raises(ConfigurationError):
+            SyntheticConfig(diurnal_shape="sawtooth")
+
+
+class TestDeterminism:
+    def test_same_seed_same_trace(self):
+        t1 = Grid5000WeekGenerator(SMALL, seed=11).generate()
+        t2 = Grid5000WeekGenerator(SMALL, seed=11).generate()
+        assert len(t1) == len(t2)
+        for a, b in zip(t1, t2):
+            assert a.submit_time == b.submit_time
+            assert a.runtime_s == b.runtime_s
+            assert a.cpu_pct == b.cpu_pct
+
+    def test_different_seeds_differ(self):
+        t1 = Grid5000WeekGenerator(SMALL, seed=11).generate()
+        t2 = Grid5000WeekGenerator(SMALL, seed=12).generate()
+        assert [j.submit_time for j in t1] != [j.submit_time for j in t2]
+
+
+class TestShape:
+    def test_jobs_within_horizon(self):
+        trace = Grid5000WeekGenerator(SMALL, seed=1).generate()
+        assert all(0 <= j.submit_time < DAY for j in trace)
+
+    def test_runtime_bounds_respected(self):
+        cfg = SyntheticConfig(horizon_s=DAY, runtime_min_s=300.0, runtime_max_s=3600.0)
+        trace = Grid5000WeekGenerator(cfg, seed=1).generate()
+        assert all(300.0 <= j.runtime_s <= 3600.0 for j in trace)
+
+    def test_widths_from_pmf(self):
+        cfg = SyntheticConfig(horizon_s=DAY, width_pmf=((2, 1.0),))
+        trace = Grid5000WeekGenerator(cfg, seed=1).generate()
+        assert all(j.cpu_pct == 200.0 for j in trace)
+
+    def test_deadline_factors_in_paper_range(self):
+        trace = Grid5000WeekGenerator(SMALL, seed=1).generate()
+        assert all(1.2 <= j.deadline_factor <= 2.0 for j in trace)
+
+    def test_week_carries_paper_scale_demand(self):
+        """The default config targets the paper's ~6 055 CPU·h week."""
+        trace = Grid5000WeekGenerator(seed=20071001).generate()
+        stats = trace.stats()
+        assert 4500 < stats.total_cpu_hours < 8000
+        assert 2000 < stats.n_jobs < 6000
+
+    def test_night_rate_lower_than_day(self):
+        gen = Grid5000WeekGenerator(SMALL, seed=1)
+        assert gen.rate_at(3 * HOUR) < gen.rate_at(14 * HOUR)
+
+    def test_weekend_rate_lower_than_weekday(self):
+        gen = Grid5000WeekGenerator(seed=1)
+        weekday_day = 1 * DAY + 14 * HOUR   # Tuesday 14:00
+        weekend_day = 5 * DAY + 14 * HOUR   # Saturday 14:00
+        assert gen.rate_at(weekend_day) < gen.rate_at(weekday_day)
+
+    def test_cosine_shape_supported(self):
+        cfg = SyntheticConfig(horizon_s=DAY, diurnal_shape="cosine")
+        gen = Grid5000WeekGenerator(cfg, seed=1)
+        assert gen.rate_at(15 * HOUR) > gen.rate_at(3 * HOUR)
+        assert len(gen.generate()) > 0
+
+    def test_users_within_population(self):
+        cfg = SyntheticConfig(horizon_s=DAY, n_users=5)
+        trace = Grid5000WeekGenerator(cfg, seed=1).generate()
+        assert all(1 <= int(j.user[1:]) <= 5 for j in trace)
+
+
+class TestDeadlinePolicy:
+    def test_factor_within_bounds(self):
+        policy = DeadlinePolicy(1.2, 2.0)
+        for runtime in (60.0, 1800.0, 7200.0, 86400.0):
+            job = Job(job_id=1, submit_time=0, runtime_s=runtime,
+                      cpu_pct=100, mem_mb=256, user="u3")
+            assert 1.2 <= policy.factor(job) <= 2.0
+
+    def test_deterministic_per_user(self):
+        policy = DeadlinePolicy()
+        job = Job(job_id=1, submit_time=0, runtime_s=600, cpu_pct=100,
+                  mem_mb=256, user="u7")
+        assert policy.factor(job) == policy.factor(job)
+
+    def test_invalid_bounds_rejected(self):
+        with pytest.raises(ConfigurationError):
+            DeadlinePolicy(2.0, 1.2)
+
+    def test_assign_deadlines_maps_whole_trace(self):
+        jobs = [Job(job_id=i, submit_time=0, runtime_s=600, cpu_pct=100,
+                    mem_mb=256, user=f"u{i}") for i in range(1, 6)]
+        out = assign_deadlines(Trace(jobs), DeadlinePolicy(1.3, 1.9))
+        assert all(1.3 <= j.deadline_factor <= 1.9 for j in out)

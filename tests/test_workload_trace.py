@@ -1,0 +1,159 @@
+"""Tests for trace containers and parsers (:mod:`repro.workload`)."""
+
+import io
+
+import pytest
+
+from repro.errors import ConfigurationError, TraceFormatError
+from repro.workload import Trace, read_gwf, read_swf
+from repro.workload.job import Job
+from repro.workload.swf import write_swf
+
+
+def make_job(job_id, submit=0.0, runtime=600.0, cpu=100.0, mem=512.0, **kw):
+    return Job(job_id=job_id, submit_time=submit, runtime_s=runtime,
+               cpu_pct=cpu, mem_mb=mem, **kw)
+
+
+class TestTrace:
+    def test_sorted_by_submit_time(self):
+        trace = Trace([make_job(1, submit=50.0), make_job(2, submit=10.0)])
+        assert [j.job_id for j in trace] == [2, 1]
+
+    def test_duplicate_ids_rejected(self):
+        with pytest.raises(ConfigurationError):
+            Trace([make_job(1), make_job(1)])
+
+    def test_len_and_getitem(self):
+        trace = Trace([make_job(i) for i in range(1, 4)])
+        assert len(trace) == 3
+        assert trace[0].job_id == 1
+
+    def test_window_selects_and_rebases(self):
+        trace = Trace([make_job(i, submit=float(i) * 100) for i in range(1, 6)])
+        win = trace.window(200.0, 400.0)
+        assert [j.job_id for j in win] == [2, 3]
+        assert win[0].submit_time == 0.0
+
+    def test_window_without_rebase(self):
+        trace = Trace([make_job(1, submit=250.0)])
+        win = trace.window(200.0, 400.0, rebase=False)
+        assert win[0].submit_time == 250.0
+
+    def test_window_invalid_bounds(self):
+        with pytest.raises(ConfigurationError):
+            Trace([make_job(1)]).window(10.0, 10.0)
+
+    def test_scaled_runtime(self):
+        trace = Trace([make_job(1, runtime=600.0)]).scaled(runtime=2.0)
+        assert trace[0].runtime_s == 1200.0
+
+    def test_scaled_arrival(self):
+        trace = Trace([make_job(1, submit=100.0)]).scaled(arrival=0.5)
+        assert trace[0].submit_time == 50.0
+
+    def test_fresh_resets_runtime_state(self):
+        job = make_job(1)
+        job.finish_time = 999.0
+        trace = Trace([job]).fresh()
+        assert trace[0].finish_time is None
+
+    def test_fresh_is_deep(self):
+        trace = Trace([make_job(1)])
+        copy = trace.fresh()
+        assert copy[0] is not trace[0]
+
+    def test_stats_totals(self):
+        trace = Trace([
+            make_job(1, runtime=3600.0, cpu=100.0),
+            make_job(2, submit=100.0, runtime=3600.0, cpu=300.0),
+        ])
+        stats = trace.stats()
+        assert stats.n_jobs == 2
+        assert stats.total_cpu_hours == pytest.approx(4.0)
+        assert stats.mean_cores == pytest.approx(2.0)
+
+    def test_empty_trace_stats(self):
+        stats = Trace([]).stats()
+        assert stats.n_jobs == 0
+        assert stats.total_cpu_hours == 0.0
+
+
+SWF_SAMPLE = """\
+; comment line
+1 0 10 600 4 -1 2048 4 600 -1 1 5 -1 -1 -1 -1 -1 -1
+2 30 -1 -1 2 -1 -1 2 1200 -1 1 6 -1 -1 -1 -1 -1 -1
+3 60 5 300 -1 -1 -1 -1 -1 -1 0 7 -1 -1 -1 -1 -1 -1
+"""
+
+
+class TestSwf:
+    def test_parses_basic_fields(self):
+        trace = read_swf(io.StringIO(SWF_SAMPLE))
+        job = trace[0]
+        assert job.job_id == 1
+        assert job.submit_time == 0.0
+        assert job.runtime_s == 600.0
+        assert job.cpu_pct == 400.0
+        assert job.mem_mb == pytest.approx(2048 * 4 / 1024)
+
+    def test_requested_fields_fallback(self):
+        trace = read_swf(io.StringIO(SWF_SAMPLE))
+        job = next(j for j in trace if j.job_id == 2)
+        assert job.runtime_s == 1200.0  # from requested time
+        assert job.cpu_pct == 200.0
+
+    def test_unusable_jobs_skipped(self):
+        trace = read_swf(io.StringIO(SWF_SAMPLE))
+        assert all(j.job_id != 3 for j in trace)  # no usable proc count
+
+    def test_short_line_rejected(self):
+        with pytest.raises(TraceFormatError):
+            read_swf(io.StringIO("1 2 3\n"))
+
+    def test_non_numeric_rejected(self):
+        bad = "x " * 18 + "\n"
+        with pytest.raises(TraceFormatError):
+            read_swf(io.StringIO(bad))
+
+    def test_max_jobs_limits(self):
+        trace = read_swf(io.StringIO(SWF_SAMPLE), max_jobs=1)
+        assert len(trace) == 1
+
+    def test_roundtrip_through_writer(self):
+        original = Trace([make_job(1, submit=10.0, runtime=600.0, cpu=200.0)])
+        buf = io.StringIO()
+        write_swf(original, buf)
+        buf.seek(0)
+        parsed = read_swf(buf)
+        assert len(parsed) == 1
+        assert parsed[0].runtime_s == 600.0
+        assert parsed[0].cpu_pct == 200.0
+
+    def test_file_roundtrip(self, tmp_path):
+        original = Trace([make_job(7, runtime=120.0)])
+        path = tmp_path / "trace.swf"
+        write_swf(original, path)
+        parsed = read_swf(path)
+        assert parsed[0].job_id == 7
+
+
+GWF_SAMPLE = """\
+# JobID SubmitTime WaitTime RunTime NProcs AverageCPUTimeUsed UsedMemory ...
+1 0 5 600 2 -1 1048576 -1 -1 -1 -1 42
+2 100 5 -1 2 -1 -1
+"""
+
+
+class TestGwf:
+    def test_parses_basic_fields(self):
+        trace = read_gwf(io.StringIO(GWF_SAMPLE))
+        assert len(trace) == 1  # job 2 has no runtime
+        job = trace[0]
+        assert job.cpu_pct == 200.0
+        assert job.mem_mb == pytest.approx(1024.0)
+        assert job.user == "u42"
+
+    def test_short_line_rejected(self):
+        with pytest.raises(TraceFormatError):
+            read_gwf(io.StringIO("1 2 3\n"))
