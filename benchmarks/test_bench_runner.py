@@ -1,0 +1,56 @@
+"""Benchmarks for the experiment sweep runner.
+
+Measures the sweep orchestration itself: a serial mini-sweep, the same
+sweep fanned out over worker processes, and a fully cache-served pass.
+The serial/parallel pair doubles as an end-to-end determinism check — the
+rows must agree exactly (modulo measured wall clock).  Parallel speedup
+depends on core count, so only equivalence is asserted here; the relative
+timings are what the benchmark records.
+"""
+
+from benchmarks.conftest import run_once
+from repro.experiments.runner import comparable_rows, run_experiments
+
+#: A cheap, representative slice of the registry (one table, one overhead
+#: sweep) at a small fraction of the week — the runner's overhead and
+#: dispatch behaviour dominate equally at any scale.
+SWEEP_IDS = ["table1", "table3"]
+SWEEP_SCALE = 1.0 / 28.0
+SWEEP_SEED = 7
+
+
+class TestBenchRunner:
+    def test_sweep_serial(self, benchmark):
+        outs = run_once(
+            benchmark, run_experiments, SWEEP_IDS, scale=SWEEP_SCALE, seed=SWEEP_SEED
+        )
+        assert [o.exp_id for o in outs] == SWEEP_IDS
+
+    def test_sweep_parallel_matches_serial(self, benchmark):
+        serial = run_experiments(SWEEP_IDS, scale=SWEEP_SCALE, seed=SWEEP_SEED)
+        outs = run_once(
+            benchmark,
+            run_experiments,
+            SWEEP_IDS,
+            scale=SWEEP_SCALE,
+            seed=SWEEP_SEED,
+            parallel=True,
+        )
+        assert [comparable_rows(o) for o in outs] == [
+            comparable_rows(o) for o in serial
+        ]
+
+    def test_sweep_cached(self, benchmark, tmp_path):
+        cache = str(tmp_path / "sweep-cache")
+        warm = run_experiments(
+            SWEEP_IDS, scale=SWEEP_SCALE, seed=SWEEP_SEED, cache_dir=cache
+        )
+        outs = run_once(
+            benchmark,
+            run_experiments,
+            SWEEP_IDS,
+            scale=SWEEP_SCALE,
+            seed=SWEEP_SEED,
+            cache_dir=cache,
+        )
+        assert [o.rows for o in outs] == [o.rows for o in warm]

@@ -106,10 +106,28 @@ def build_parser() -> argparse.ArgumentParser:
     sim.add_argument("--jobs-csv", type=str, default=None,
                      help="write per-job records (wait, stretch, S) to CSV")
 
-    exp = sub.add_parser("experiment", help="regenerate a paper table/figure")
+    exp = sub.add_parser(
+        "experiment",
+        help="regenerate a paper table/figure",
+        description=(
+            "Regenerate one of the paper's tables/figures, or 'all' for the "
+            "whole evaluation. Sweeps parallelize across experiments: "
+            "--parallel fans them out over a process pool and produces the "
+            "same rows as a serial run; --cache-dir re-serves identical "
+            "(experiment, scale, seed) invocations from disk."
+        ),
+    )
     exp.add_argument("exp_id", choices=registry.list_ids() + ["all"])
     exp.add_argument("--scale", type=float, default=1.0)
     exp.add_argument("--seed", type=int, default=DEFAULT_SEED)
+    exp.add_argument("--parallel", action="store_true",
+                     help="run experiments concurrently in worker processes "
+                          "(identical output, less wall clock)")
+    exp.add_argument("--jobs", type=int, default=None,
+                     help="worker processes for --parallel (default: all cores)")
+    exp.add_argument("--cache-dir", type=str, default=None,
+                     help="cache experiment outputs here, keyed by "
+                          "(experiment, scale, seed, code version)")
 
     tr = sub.add_parser("trace", help="generate the synthetic Grid5000 week")
     tr.add_argument("--scale", type=float, default=1.0)
@@ -169,9 +187,17 @@ def main(argv: Optional[List[str]] = None) -> int:
         return 0
 
     if args.command == "experiment":
+        from repro.experiments.runner import run_experiments
+
         ids = registry.list_ids() if args.exp_id == "all" else [args.exp_id]
-        for exp_id in ids:
-            output = registry.get(exp_id)(scale=args.scale, seed=args.seed)
+        for output in run_experiments(
+            ids,
+            scale=args.scale,
+            seed=args.seed,
+            parallel=args.parallel,
+            jobs=args.jobs,
+            cache_dir=args.cache_dir,
+        ):
             print(output)
             print()
         return 0

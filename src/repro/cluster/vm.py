@@ -134,12 +134,22 @@ class Vm:
         self.last_progress_t = now
 
     def eta(self, now: float) -> float:
-        """Projected completion time at the current share (inf if starved)."""
+        """Projected completion time at the current share (inf if starved).
+
+        Exact even when the work integral is stale: while the VM accrues
+        (RUNNING/MIGRATING), ``work_done`` is correct as of
+        ``last_progress_t`` and the share has been constant since, so the
+        projection anchors there instead of assuming the integral was
+        advanced to ``now``.  The engine's lazy progress accounting relies
+        on this.
+        """
         remaining = self.work_remaining
         if remaining <= 0:
             return now
         if self.share <= 0:
             return float("inf")
+        if self.state is VmState.RUNNING or self.state is VmState.MIGRATING:
+            return self.last_progress_t + remaining / self.share
         return now + remaining / self.share
 
     # ----------------------------------------------------------------- SLA

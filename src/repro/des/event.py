@@ -9,13 +9,17 @@ must observe changes in the same order to produce identical schedules.
 
 Cancellation is handled with a tombstone flag rather than heap surgery
 (:class:`EventHandle.cancel` is O(1); the simulator skips dead events when
-they surface), the standard idiom for heap-based simulators.
+they surface), the standard idiom for heap-based simulators.  Each event
+carries a back-reference to its owning simulator so cancellation can be
+*accounted for* in O(1) too — the simulator keeps a live-event counter and
+compacts the heap when tombstones dominate, instead of scanning the heap
+on every ``pending`` query.
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Callable, Optional
+from typing import Any, Callable, Optional
 
 __all__ = ["Event", "EventHandle"]
 
@@ -30,6 +34,9 @@ class Event:
     callback: Callable[[], None] = field(compare=False)
     label: str = field(default="", compare=False)
     cancelled: bool = field(default=False, compare=False)
+    #: Owning simulator while the event sits live in its heap; cleared when
+    #: the event fires or is cancelled, so notifications fire exactly once.
+    owner: Optional[Any] = field(default=None, compare=False, repr=False)
 
 
 class EventHandle:
@@ -62,7 +69,14 @@ class EventHandle:
 
     def cancel(self) -> None:
         """Cancel the event; a no-op if it already fired or was cancelled."""
-        self._event.cancelled = True
+        event = self._event
+        if event.cancelled:
+            return
+        event.cancelled = True
+        owner = event.owner
+        event.owner = None
+        if owner is not None:
+            owner._note_cancelled(event)
 
     def __repr__(self) -> str:  # pragma: no cover - debugging aid
         state = "cancelled" if self.cancelled else "pending"

@@ -13,6 +13,7 @@ from __future__ import annotations
 
 import heapq
 import itertools
+import math
 from typing import Callable, Iterable, List, Optional
 
 from repro.des.event import Event, EventHandle
@@ -39,6 +40,10 @@ class Simulator:
     [5.0]
     """
 
+    #: Compaction only kicks in above this heap size; below it the O(n)
+    #: rebuild costs more than just letting tombstones surface naturally.
+    _COMPACT_FLOOR = 64
+
     def __init__(self, start: float = 0.0) -> None:
         self._now = float(start)
         self._heap: List[Event] = []
@@ -46,6 +51,8 @@ class Simulator:
         self._events_processed = 0
         self._running = False
         self._stop_requested = False
+        self._live = 0
+        self._tombstones = 0
 
     # ------------------------------------------------------------------ time
 
@@ -61,8 +68,33 @@ class Simulator:
 
     @property
     def pending(self) -> int:
-        """Number of not-yet-cancelled events still in the queue."""
-        return sum(1 for e in self._heap if not e.cancelled)
+        """Number of not-yet-cancelled events still in the queue (O(1))."""
+        return self._live
+
+    # ------------------------------------------------------- heap accounting
+
+    def _note_cancelled(self, event: Event) -> None:
+        """Called by :meth:`EventHandle.cancel` for events still in the heap.
+
+        Keeps the live counter exact and compacts the heap once cancelled
+        tombstones outnumber live events — without this, workloads that
+        cancel and reschedule the same logical event (completion handles on
+        every share change) grow the heap without bound.
+        """
+        self._live -= 1
+        self._tombstones += 1
+        if (
+            self._tombstones * 2 > len(self._heap)
+            and len(self._heap) >= self._COMPACT_FLOOR
+        ):
+            self._compact()
+
+    def _compact(self) -> None:
+        # Order-preserving: (time, priority, seq) is a unique total order,
+        # so heapify of the filtered list pops in the same sequence.
+        self._heap = [e for e in self._heap if not e.cancelled]
+        heapq.heapify(self._heap)
+        self._tombstones = 0
 
     # ------------------------------------------------------------- scheduling
 
@@ -76,10 +108,12 @@ class Simulator:
     ) -> EventHandle:
         """Schedule ``callback`` to fire ``delay`` seconds from now.
 
-        ``delay`` must be non-negative.  ``priority`` breaks ties among
-        simultaneous events (lower fires first); insertion order breaks the
-        remaining ties, so the kernel is fully deterministic.
+        ``delay`` must be finite and non-negative.  ``priority`` breaks ties
+        among simultaneous events (lower fires first); insertion order breaks
+        the remaining ties, so the kernel is fully deterministic.
         """
+        if not math.isfinite(delay):
+            raise SimulationError(f"delay must be finite (got {delay})")
         if delay < 0:
             raise SimulationError(f"cannot schedule into the past (delay={delay})")
         return self.at(self._now + delay, callback, priority=priority, label=label)
@@ -92,7 +126,13 @@ class Simulator:
         priority: int = 0,
         label: str = "",
     ) -> EventHandle:
-        """Schedule ``callback`` at absolute simulation ``time``."""
+        """Schedule ``callback`` at absolute simulation ``time``.
+
+        ``time`` must be finite: a NaN time compares False against
+        everything and would silently corrupt heap order.
+        """
+        if not math.isfinite(time):
+            raise SimulationError(f"event time must be finite (got {time})")
         if time < self._now:
             raise SimulationError(
                 f"cannot schedule at t={time} before current time t={self._now}"
@@ -103,8 +143,10 @@ class Simulator:
             seq=next(self._seq),
             callback=callback,
             label=label,
+            owner=self,
         )
         heapq.heappush(self._heap, event)
+        self._live += 1
         return EventHandle(event)
 
     # ------------------------------------------------------------------- run
@@ -118,7 +160,10 @@ class Simulator:
         while self._heap:
             event = heapq.heappop(self._heap)
             if event.cancelled:
+                self._tombstones -= 1
                 continue
+            self._live -= 1
+            event.owner = None
             self._now = event.time
             self._events_processed += 1
             event.callback()
@@ -158,12 +203,15 @@ class Simulator:
                 event = self._heap[0]
                 if event.cancelled:
                     heapq.heappop(self._heap)
+                    self._tombstones -= 1
                     continue
                 if until is not None and event.time > until:
                     # The world continues past the horizon: close at it.
                     self._now = float(until)
                     break
                 heapq.heappop(self._heap)
+                self._live -= 1
+                event.owner = None
                 self._now = event.time
                 self._events_processed += 1
                 event.callback()

@@ -20,9 +20,17 @@ is detected, or the reliability of a node changes"):
   latest checkpoint when available), clean up cross-host operations;
 * **SLA tick** (optional) → dynamic requirement inflation and a round.
 
-Progress accounting is exact: a VM's work integral advances at its current
-share, shares only change inside events, and every event first calls
-:meth:`DatacenterSimulation._touch` to bring all integrals up to *now*.
+Progress accounting is exact *and lazy*: a VM's work integral advances at
+its current share, and shares only change inside events — specifically in
+:meth:`DatacenterSimulation._refresh`, and only on dirty hosts.  The work
+integral therefore does not need to be re-sampled on every event; it is
+enough to advance a VM right before anything that could change its share
+(the dirty-host sweep in ``_refresh``) or that reads its progress (the
+completion check, the checkpoint tick, the end-of-run result builder).
+Between those points :meth:`~repro.cluster.vm.Vm.eta` stays exact because
+it anchors its projection at ``last_progress_t`` rather than assuming the
+integral is current.  This turns the per-event cost from O(placed VMs)
+into O(VMs on dirty hosts).
 """
 
 from __future__ import annotations
@@ -107,7 +115,9 @@ class DatacenterSimulation(ActuatorsMixin):
             h.state = HostState.ON
 
         self.vms: Dict[int, Vm] = {}
-        self.queue: List[Vm] = []
+        #: FIFO of waiting VMs, keyed by vm_id (insertion-ordered dict so
+        #: :meth:`queue_remove` is O(1) instead of a list scan).
+        self.queue: Dict[int, Vm] = {}
         self._completion_handles: Dict[int, object] = {}
         self._dirty: Set[int] = set()
         self._round_pending = False
@@ -192,6 +202,7 @@ class DatacenterSimulation(ActuatorsMixin):
         horizon = self.start()
         self.sim.run(until=horizon)
 
+        self._touch_all()
         self.metrics.close(self.sim.now)
         self._result = self._build_result(wall_start)
         return self._result
@@ -209,13 +220,12 @@ class DatacenterSimulation(ActuatorsMixin):
         return SchedulingContext(
             now=self.sim.now,
             hosts=self.hosts,
-            queued=tuple(self.queue),
+            queued=tuple(self.queue.values()),
             placed=placed,
         )
 
     def _round(self) -> None:
         self._round_pending = False
-        self._touch()
 
         if self.sla_monitor is not None:
             running = [vm for vm in self.vms.values() if vm.is_placed]
@@ -241,7 +251,6 @@ class DatacenterSimulation(ActuatorsMixin):
     # --------------------------------------------------------------- events
 
     def _on_job_arrival(self, job) -> None:
-        self._touch()
         self._arrivals_pending -= 1
         vm = Vm(job)
         vm.last_progress_t = self.sim.now
@@ -253,14 +262,13 @@ class DatacenterSimulation(ActuatorsMixin):
             self.metrics.counters.incr("unplaceable")
             self._job_finished()
             return
-        self.queue.append(vm)
+        self.queue[vm.vm_id] = vm
         self.emit(TraceEventKind.JOB_ARRIVAL, vm_id=vm.vm_id)
         self.trigger_round()
 
     def _on_creation_done(self, vm: Vm, host: Host) -> None:
         if vm.state is not VmState.CREATING or vm.host_id != host.host_id:
             return  # superseded by a failure
-        self._touch()
         host.end_operation(OperationKind.CREATE, vm.vm_id)
         vm.state = VmState.RUNNING
         vm.job.state = JobState.RUNNING
@@ -275,7 +283,9 @@ class DatacenterSimulation(ActuatorsMixin):
     def _on_migration_done(self, vm: Vm, src: Host, dst: Host) -> None:
         if vm.state is not VmState.MIGRATING or vm.migration_dst != dst.host_id:
             return  # aborted by a failure
-        self._touch()
+        # Bank the work accrued on the source before the residency change
+        # (the completion check below reads it).
+        vm.advance(self.sim.now)
         src.remove_vm(vm.vm_id)
         src.end_operation(OperationKind.MIGRATE_OUT, vm.vm_id)
         dst.end_operation(OperationKind.MIGRATE_IN, vm.vm_id)
@@ -302,7 +312,7 @@ class DatacenterSimulation(ActuatorsMixin):
     def _on_completion(self, vm: Vm) -> None:
         if vm.state is not VmState.RUNNING or vm.host_id is None:
             return
-        self._touch()
+        vm.advance(self.sim.now)
         if vm.work_remaining <= _WORK_EPS:
             self._complete_vm(vm, self.hosts_by_id[vm.host_id])
             self._refresh()
@@ -313,7 +323,6 @@ class DatacenterSimulation(ActuatorsMixin):
     def _on_boot_done(self, host: Host) -> None:
         if host.state is not HostState.BOOTING:
             return
-        self._touch()
         host.state = HostState.ON
         self.emit(TraceEventKind.BOOT_DONE, host_id=host.host_id)
         self._dirty.add(host.host_id)
@@ -339,7 +348,7 @@ class DatacenterSimulation(ActuatorsMixin):
             # The failure clock only bites running machines; re-arm.
             self._schedule_failure(host)
             return
-        self._touch()
+        self._touch_host(host)
         self.metrics.counters.incr("host_failures")
         self.emit(
             TraceEventKind.HOST_FAILURE,
@@ -390,7 +399,7 @@ class DatacenterSimulation(ActuatorsMixin):
             vm.migration_dst = None
             vm.share = 0.0
             vm.last_progress_t = self.sim.now
-            self.queue.append(vm)
+            self.queue[vm.vm_id] = vm
 
         host.vms.clear()
         host.reservations.clear()
@@ -408,7 +417,6 @@ class DatacenterSimulation(ActuatorsMixin):
     def _on_host_repair(self, host: Host) -> None:
         if host.state is not HostState.FAILED:
             return
-        self._touch()
         host.state = HostState.OFF
         self.emit(TraceEventKind.HOST_REPAIR, host_id=host.host_id)
         self._dirty.add(host.host_id)
@@ -421,7 +429,9 @@ class DatacenterSimulation(ActuatorsMixin):
     def _checkpoint_tick(self) -> None:
         if self._active_jobs == 0 and self._arrivals_pending == 0:
             return
-        self._touch()
+        # Snapshots record absolute work done, so every integral must be
+        # current here — the one remaining global touch point.
+        self._touch_all()
         hosts_snapshotting = set()
         for vm in self.vms.values():
             if vm.state in (VmState.RUNNING, VmState.MIGRATING):
@@ -453,7 +463,6 @@ class DatacenterSimulation(ActuatorsMixin):
     def _on_checkpoint_done(self, host: Host) -> None:
         if host.state is not HostState.ON:
             return  # cleared by a failure
-        self._touch()
         try:
             host.end_operation(OperationKind.CHECKPOINT, -1)
         except Exception:  # pragma: no cover - cleared by failure handling
@@ -464,7 +473,8 @@ class DatacenterSimulation(ActuatorsMixin):
     def _sla_tick(self) -> None:
         if self._active_jobs == 0 and self._arrivals_pending == 0:
             return
-        self._touch()
+        # Fulfilment projections are stale-proof (eta anchors at the last
+        # touch), so no global advancement is needed here.
         running = [vm for vm in self.vms.values() if vm.is_placed]
         violated = self.sla_monitor.check(running, self.sim.now)
         if violated:
@@ -494,13 +504,21 @@ class DatacenterSimulation(ActuatorsMixin):
 
     def queue_remove(self, vm: Vm) -> None:
         """Remove a VM from the waiting queue (after successful placement)."""
-        try:
-            self.queue.remove(vm)
-        except ValueError:  # pragma: no cover - defensive
-            pass
+        self.queue.pop(vm.vm_id, None)
 
-    def _touch(self) -> None:
-        """Advance every placed VM's work integral to the current instant."""
+    def _touch_host(self, host: Host) -> None:
+        """Advance every VM resident on ``host`` to the current instant."""
+        now = self.sim.now
+        for vm in host.vms.values():
+            vm.advance(now)
+
+    def _touch_all(self) -> None:
+        """Advance every placed VM's work integral to the current instant.
+
+        Only needed where absolute progress of *all* VMs is read at once
+        (checkpoint snapshots, the end-of-run result); everything else
+        relies on lazy per-host advancement in :meth:`_refresh`.
+        """
         now = self.sim.now
         for host in self.hosts:
             if not host.vms:
@@ -553,6 +571,10 @@ class DatacenterSimulation(ActuatorsMixin):
         now = self.sim.now
         for hid in sorted(self._dirty):
             host = self.hosts_by_id[hid]
+            # Bank progress at the old shares before recomputing: shares
+            # only ever change here, so VMs on clean hosts keep accruing
+            # at a constant share and need no per-event attention.
+            self._touch_host(host)
             host.recompute_shares()
             self.metrics.refresh_power(now, host)
             for vm in host.vms.values():
@@ -569,7 +591,9 @@ class DatacenterSimulation(ActuatorsMixin):
     def _build_result(self, wall_start: float) -> SimulationResult:
         jobs = [vm.job for vm in self.vms.values()]
         # Jobs whose arrival event never fired (horizon overrun) count too.
-        seen = {vm.vm_id for vm in self.vms.values()}
+        # Keyed on job_id (not vm_id): a Vm constructed with a non-default
+        # vm_id would otherwise duplicate or drop its job's row here.
+        seen = {vm.job.job_id for vm in self.vms.values()}
         jobs.extend(j for j in self.trace if j.job_id not in seen)
         sat, delay = aggregate(jobs)
         waits = [

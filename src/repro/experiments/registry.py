@@ -67,12 +67,23 @@ def list_ids() -> List[str]:
     return list(REGISTRY)
 
 
-def all_experiments(scale: float = 1.0, seed: int | None = None) -> List[ExperimentOutput]:
-    """Run the whole evaluation (pass ``scale < 1`` for a quick pass)."""
-    outputs = []
-    for exp_id, runner in REGISTRY.items():
-        kwargs = {"scale": scale}
-        if seed is not None:
-            kwargs["seed"] = seed
-        outputs.append(runner(**kwargs))
-    return outputs
+def all_experiments(
+    scale: float = 1.0,
+    seed: int | None = None,
+    *,
+    parallel: bool = False,
+    jobs: int | None = None,
+    cache_dir: str | None = None,
+) -> List[ExperimentOutput]:
+    """Run the whole evaluation (pass ``scale < 1`` for a quick pass).
+
+    ``parallel=True`` fans the experiments out over a process pool (see
+    :mod:`repro.experiments.runner`); rows are identical to a serial run.
+    ``cache_dir`` re-serves identical invocations from an on-disk cache.
+    """
+    # Imported lazily: the runner imports this registry back.
+    from repro.experiments.runner import run_experiments
+
+    return run_experiments(
+        scale=scale, seed=seed, parallel=parallel, jobs=jobs, cache_dir=cache_dir
+    )

@@ -1,0 +1,179 @@
+"""Parallel experiment sweep runner with an on-disk result cache.
+
+The registry's 18 experiment modules are mutually independent: each is a
+pure function of ``(exp_id, scale, seed)`` that internally runs several
+full-week simulations.  :func:`run_experiments` exploits that in two ways:
+
+* **Fan-out** — with ``parallel=True`` the experiments are dispatched to a
+  :class:`concurrent.futures.ProcessPoolExecutor`.  Every worker runs the
+  exact same module entry point with the exact same explicit arguments the
+  serial path would use (all seeding is explicit — there is no shared RNG
+  or other cross-experiment state), so the returned rows are bit-identical
+  to a serial sweep; only wall-clock time changes.  Results are reordered
+  to the input order regardless of completion order.
+
+* **Caching** — with ``cache_dir`` set, each experiment's
+  :class:`~repro.experiments.common.ExperimentOutput` is pickled under a
+  key of ``sha256(version fingerprint, exp_id, scale, seed)``.  The
+  version fingerprint folds in the package version and
+  :data:`RESULT_VERSION`, so bumping either invalidates every stale entry;
+  identical re-runs are served from disk without simulating.  Writes are
+  atomic (temp file + rename) so a killed sweep never leaves a torn entry.
+
+The module is deliberately dependency-free (stdlib only) and every worker
+entry point is a top-level function, keeping everything picklable under
+both fork and spawn start methods.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import os
+import pickle
+import tempfile
+from concurrent.futures import ProcessPoolExecutor
+from pathlib import Path
+from typing import List, Optional, Sequence
+
+from repro.experiments.common import ExperimentOutput
+
+__all__ = ["RESULT_VERSION", "cache_key", "comparable_rows", "run_experiments"]
+
+#: Bump when engine/experiment semantics change in a way that invalidates
+#: previously cached :class:`ExperimentOutput` pickles.
+RESULT_VERSION = 1
+
+
+def _version_fingerprint() -> str:
+    from repro import __version__
+
+    return f"{__version__}:{RESULT_VERSION}"
+
+
+def cache_key(exp_id: str, scale: float, seed: Optional[int]) -> str:
+    """Stable cache key for one experiment invocation.
+
+    ``seed=None`` (module default) and an explicit seed equal to the
+    default hash differently on purpose: the two calls take different
+    code paths in the experiment modules and are only *expected* to agree.
+    """
+    raw = repr((_version_fingerprint(), exp_id, float(scale), seed))
+    return hashlib.sha256(raw.encode("utf-8")).hexdigest()
+
+
+def comparable_rows(output: ExperimentOutput) -> List[dict]:
+    """The output's rows with measured wall-clock fields removed.
+
+    Simulation rows are deterministic; the one exception is measured wall
+    time (``wall_clock_s`` and friends), which differs between *any* two
+    runs, serial or not.  Serial/parallel equivalence is asserted on this
+    view.
+    """
+    return [
+        {k: v for k, v in row.items() if "wall" not in k} for row in output.rows
+    ]
+
+
+def _run_one(exp_id: str, scale: float, seed: Optional[int]) -> ExperimentOutput:
+    """Worker entry point: run one experiment module (picklable)."""
+    from repro.experiments import registry
+
+    kwargs = {"scale": scale}
+    if seed is not None:
+        kwargs["seed"] = seed
+    return registry.get(exp_id)(**kwargs)
+
+
+def _cache_load(path: Path) -> Optional[ExperimentOutput]:
+    try:
+        with open(path, "rb") as fh:
+            out = pickle.load(fh)
+    # A torn or overwritten entry is indistinguishable from an arbitrary
+    # byte stream, and pickle surfaces corruption through many exception
+    # types (UnpicklingError, ValueError, EOFError, ...) depending on
+    # which opcode the garbage happens to hit — any failure means "miss".
+    except Exception:
+        return None
+    return out if isinstance(out, ExperimentOutput) else None
+
+
+def _cache_store(path: Path, output: ExperimentOutput) -> None:
+    path.parent.mkdir(parents=True, exist_ok=True)
+    fd, tmp = tempfile.mkstemp(dir=path.parent, suffix=".tmp")
+    try:
+        with os.fdopen(fd, "wb") as fh:
+            pickle.dump(output, fh, protocol=pickle.HIGHEST_PROTOCOL)
+        os.replace(tmp, path)
+    except OSError:  # pragma: no cover - cache is best-effort
+        try:
+            os.unlink(tmp)
+        except OSError:
+            pass
+
+
+def run_experiments(
+    exp_ids: Optional[Sequence[str]] = None,
+    *,
+    scale: float = 1.0,
+    seed: Optional[int] = None,
+    parallel: bool = False,
+    jobs: Optional[int] = None,
+    cache_dir: Optional[str] = None,
+) -> List[ExperimentOutput]:
+    """Run a set of experiments, optionally in parallel and/or cached.
+
+    Parameters
+    ----------
+    exp_ids:
+        Experiment ids to run (default: the whole registry, in
+        presentation order).  Output order always matches input order.
+    scale:
+        Fraction of the paper's week each experiment simulates.
+    seed:
+        Explicit seed forwarded to every experiment; ``None`` keeps each
+        module's default.
+    parallel:
+        Fan experiments out over a process pool.  Rows are identical to a
+        serial run — workers receive the same explicit arguments.
+    jobs:
+        Worker count (default: ``os.cpu_count()``); only with ``parallel``.
+    cache_dir:
+        Directory for the pickle cache; ``None`` disables caching.
+    """
+    from repro.experiments import registry
+
+    ids = list(exp_ids) if exp_ids is not None else registry.list_ids()
+    for exp_id in ids:
+        registry.get(exp_id)  # validate early, before spawning workers
+
+    cache = Path(cache_dir) if cache_dir is not None else None
+    outputs: List[Optional[ExperimentOutput]] = [None] * len(ids)
+    misses: List[int] = []
+    for i, exp_id in enumerate(ids):
+        if cache is not None:
+            hit = _cache_load(cache / f"{cache_key(exp_id, scale, seed)}.pkl")
+            if hit is not None:
+                outputs[i] = hit
+                continue
+        misses.append(i)
+
+    if misses:
+        if parallel:
+            workers = jobs if jobs is not None else (os.cpu_count() or 1)
+            workers = max(1, min(workers, len(misses)))
+            with ProcessPoolExecutor(max_workers=workers) as pool:
+                futures = {
+                    i: pool.submit(_run_one, ids[i], scale, seed) for i in misses
+                }
+                for i, future in futures.items():
+                    outputs[i] = future.result()
+        else:
+            for i in misses:
+                outputs[i] = _run_one(ids[i], scale, seed)
+        if cache is not None:
+            for i in misses:
+                _cache_store(
+                    cache / f"{cache_key(ids[i], scale, seed)}.pkl", outputs[i]
+                )
+
+    return list(outputs)  # type: ignore[arg-type]

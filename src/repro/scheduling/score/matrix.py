@@ -13,9 +13,36 @@ changed):
 * :meth:`apply_move` applies one hypothetical move, updates the occupancy
   bookkeeping, freezes the moved column, and recomputes **only** the two
   affected host rows;
+* the per-column current costs and a per-row running argmin of the diff
+  (score − current cost) are cached and maintained incrementally, so the
+  hill climber's "find the most negative cell" step is O(M) per move via
+  :meth:`best_move` instead of an O(M·N) fresh diff matrix;
 * in-round planned operations feed a ``pending`` concurrency cost per
   host, so later moves in the same round see earlier ones through P_conc —
   this is what makes SB2 stagger simultaneous creations.
+
+The minima cache is **per column**, not per row, and that choice is
+load-bearing: queued VMs are frequently identical, so the per-row argmin
+of the diff tends to point at the very column each move freezes —
+a per-row cache would invalidate every row on every move.  Per column,
+
+* freezing the moved column is an O(1) invalidation (its min goes +inf);
+* a current-cost change shifts the whole diff column uniformly, so the
+  cached min *value* shifts without moving the argmin *row*;
+* only the ≤2 recomputed host rows can displace a column's cached min,
+  and a full column rescan is needed only when the cached argmin row got
+  strictly worse — rare outside a host filling up.
+
+The incremental invariants (checked property-style in
+``tests/test_score_incremental.py`` against a from-scratch rebuild and the
+:class:`~repro.scheduling.score.evaluator.AssignmentEvaluator` oracle):
+
+* ``_cur_costs[j]`` always equals what :meth:`current_costs` computed from
+  scratch would return for column ``j``;
+* ``(_col_min_val[j], _col_min_row[j])`` always equal the value/argmin of
+  ``scores[:, j] - _cur_costs[j]`` (+inf when frozen), with the lowest
+  row winning ties, so :meth:`best_move` is bit-identical to
+  ``argmin(diff_matrix())`` — same cell, same tie-breaking.
 """
 
 from __future__ import annotations
@@ -132,9 +159,26 @@ class ScoreMatrixBuilder:
             self.req_ok = np.zeros((self.n_rows, 0), dtype=bool)
 
         self.frozen = np.zeros(self.n_cols, dtype=bool)
+        # The migration penalty depends only on static quantities (T_r at
+        # round start, per-host C_m), so it is materialized once and reused
+        # by every row rescore.
+        if self.n_cols:
+            cm2 = self.cm[:, None]
+            self._mig_pen = np.where(
+                self.tr[None, :] < cm2, 2.0 * cm2, cm2 / 2.0
+            )
+        else:
+            self._mig_pen = np.zeros((self.n_rows, 0))
         self.scores = np.full((self.n_rows, self.n_cols), INF)
         if self.n_cols:
             self.scores[:] = self._score_rows(np.arange(self.n_rows))
+
+        # ---- incremental caches ------------------------------------------
+        self._cur_costs = self._compute_current_costs()
+        self._col_min_val = np.full(self.n_cols, INF)
+        self._col_min_row = np.zeros(self.n_cols, dtype=int)
+        if self.n_cols and self.n_rows:
+            self._refresh_col_minima(np.arange(self.n_cols))
 
     # ----------------------------------------------------------------- math
 
@@ -165,8 +209,7 @@ class ScoreMatrixBuilder:
 
         s = np.zeros((len(R), self.n_cols))
         if cfg.enable_virt:
-            cm = self.cm[R][:, None]
-            migration = np.where(self.tr[None, :] < cm, 2.0 * cm, cm / 2.0)
+            migration = self._mig_pen[R]
             creation = np.broadcast_to(self.cc[R][:, None], migration.shape)
             s += np.where(on, 0.0, np.where(self.is_queued[None, :], creation, migration))
         if cfg.enable_conc:
@@ -185,6 +228,77 @@ class ScoreMatrixBuilder:
 
         return np.where(feasible, s, INF)
 
+    def _score_row(self, r: int) -> np.ndarray:
+        """One host row of the score matrix, with scalar host-side terms.
+
+        Bit-identical to ``_score_rows([r])`` — every elementwise float
+        operation is the same — but roughly half the numpy dispatches,
+        which is what the hill climber's per-move rescoring pays for.
+        """
+        cfg = self.config
+        if not self.avail[r]:
+            return np.full(self.n_cols, INF)
+        cap_cpu = self.cap_cpu[r]
+        cap_mem = self.cap_mem[r]
+        res_cpu = self.res_cpu[r]
+        res_mem = self.res_mem[r]
+
+        on = self.cur == r
+        add_cpu = np.where(on, 0.0, self.vcpu)
+        add_mem = np.where(on, 0.0, self.vmem)
+        occ_after = np.maximum(
+            (res_cpu + add_cpu) / cap_cpu, (res_mem + add_mem) / cap_mem
+        )
+        occ_now = max(res_cpu / cap_cpu, res_mem / cap_mem)
+        feasible = self.req_ok[r] & (occ_after <= 1.0 + 1e-9)
+
+        s = np.zeros(self.n_cols)
+        if cfg.enable_virt:
+            base = np.where(self.is_queued, self.cc[r], self._mig_pen[r])
+            s += np.where(on, 0.0, base)
+        if cfg.enable_conc:
+            s += np.where(on, 0.0, self.conc[r] + self.pending[r])
+        if cfg.enable_pwr:
+            t_empty = 1.0 if self.nvms[r] <= cfg.th_empty else 0.0
+            s += t_empty * cfg.c_empty - occ_now * cfg.c_fill
+        if cfg.enable_sla:
+            viol = on & (self.fulf < 1.0)
+            hard = viol & (self.fulf <= cfg.th_sla)
+            s += np.where(viol, cfg.c_sla, 0.0)
+            s = np.where(hard, INF, s)
+        if cfg.enable_fault:
+            s += ((1.0 - self.rel[r]) - self.ftol) * cfg.c_fail
+
+        return np.where(feasible, s, INF)
+
+    # -------------------------------------------------------------- caches
+
+    def _compute_current_costs(self) -> np.ndarray:
+        """From-scratch per-column current costs (cache initialization)."""
+        costs = np.full(self.n_cols, self.config.queue_cost)
+        placed = np.nonzero(self.cur >= 0)[0]
+        if placed.size:
+            vals = self.scores[self.cur[placed], placed]
+            finite = np.isfinite(vals)
+            costs[placed[finite]] = vals[finite]
+        return costs
+
+    def _refresh_col_minima(self, cols: np.ndarray) -> None:
+        """Recompute the cached (value, argmin-row) of the diff for ``cols``.
+
+        Frozen columns are pinned at +inf / row 0 regardless of scores.
+        """
+        live = cols[~self.frozen[cols]]
+        dead = cols[self.frozen[cols]]
+        if dead.size:
+            self._col_min_val[dead] = INF
+            self._col_min_row[dead] = 0
+        if live.size:
+            sub = self.scores[:, live] - self._cur_costs[live][None, :]
+            rows = np.argmin(sub, axis=0)
+            self._col_min_row[live] = rows
+            self._col_min_val[live] = sub[rows, np.arange(len(live))]
+
     # ------------------------------------------------------------ interface
 
     def current_costs(self) -> np.ndarray:
@@ -195,20 +309,32 @@ class ScoreMatrixBuilder:
         hard-violation, or an occupation pushed over 100 % by requirement
         inflation) also maps to ``queue_cost``: the VM urgently wants out.
         """
-        costs = np.full(self.n_cols, self.config.queue_cost)
-        placed = np.nonzero(self.cur >= 0)[0]
-        if placed.size:
-            vals = self.scores[self.cur[placed], placed]
-            finite = np.isfinite(vals)
-            costs[placed[finite]] = vals[finite]
-        return costs
+        return self._cur_costs.copy()
 
     def diff_matrix(self) -> np.ndarray:
         """scores − current costs, with frozen columns masked to +inf."""
-        diff = self.scores - self.current_costs()[None, :]
+        diff = self.scores - self._cur_costs[None, :]
         if self.frozen.any():
             diff[:, self.frozen] = INF
         return diff
+
+    def best_move(self) -> Optional[tuple]:
+        """``(row, col, gain)`` of the most negative diff cell, in O(N).
+
+        Reads the cached per-column minima instead of materializing the
+        diff matrix; ties break exactly like ``np.argmin(diff_matrix())``
+        — lowest row first, then lowest column.  Returns ``None`` on an
+        empty matrix; the returned ``gain`` may be non-negative or +inf
+        (the caller decides when to stop climbing).
+        """
+        if self.n_cols == 0 or self.n_rows == 0:
+            return None
+        best = float(np.min(self._col_min_val))
+        if not np.isfinite(best):
+            return 0, int(np.argmin(self._col_min_val)), best
+        ties = np.nonzero(self._col_min_val == best)[0]
+        k = int(np.argmin(self._col_min_row[ties]))
+        return int(self._col_min_row[ties[k]]), int(ties[k]), best
 
     def apply_move(self, col: int, row: int) -> None:
         """Hypothetically move column ``col`` to host row ``row``.
@@ -239,9 +365,66 @@ class ScoreMatrixBuilder:
         self.is_queued[col] = False
         self.frozen[col] = True
 
-        touched = [row] if old < 0 else [old, row]
-        rows = np.array(sorted(set(touched)), dtype=int)
-        self.scores[rows, :] = self._score_rows(rows)
+        touched = [row] if old < 0 else sorted({old, row})
+        for t in touched:
+            self.scores[t, :] = self._score_row(t)
+
+        # ---- incremental cache maintenance -------------------------------
+        # The moved column is frozen: O(1) invalidation.
+        self._col_min_val[col] = INF
+        self._col_min_row[col] = 0
+
+        # Current costs change only for columns homed on a touched row
+        # (their current cell was just recomputed).  A cost change shifts
+        # that column's whole diff uniformly, so the cached min value
+        # shifts with it and the argmin row stays put.
+        homed = self.cur == touched[0]
+        if len(touched) == 2:
+            homed |= self.cur == touched[1]
+        homed = np.nonzero(homed)[0]
+        if homed.size:
+            vals = self.scores[self.cur[homed], homed]
+            new_costs = np.where(np.isfinite(vals), vals, self.config.queue_cost)
+            # (+inf cached minima absorb the shift: inf + finite == inf.)
+            self._col_min_val[homed] += self._cur_costs[homed] - new_costs
+            self._cur_costs[homed] = new_costs
+
+        # Score changes are confined to the touched rows.  For each live
+        # column, compare the cached min (v at row r) with the best new
+        # value over the touched rows (w at row rw, lowest row on ties).
+        # Every untouched row still holds a value >= v, so:
+        #   w < v, or w == v at a lower row  ->  (w, rw) is the new min;
+        #   cached row untouched, not beaten ->  cache still valid;
+        #   cached row touched and got worse ->  full column rescan.
+        live = ~self.frozen
+        v = self._col_min_val
+        r = self._col_min_row
+        if len(touched) == 1:
+            t0 = touched[0]
+            w = self.scores[t0] - self._cur_costs
+            # With one touched row the general rule below collapses to:
+            # take on a strict win, or a tie at a row index not above the
+            # cached one (covers both the rw<r and the in-T rw==r cases).
+            take = live & ((w < v) | ((w == v) & (r >= t0)))
+            rescan = live & (r == t0) & (w > v)
+            if take.any():
+                self._col_min_val[take] = w[take]
+                self._col_min_row[take] = t0
+        else:
+            d0 = self.scores[touched[0]] - self._cur_costs
+            d1 = self.scores[touched[1]] - self._cur_costs
+            first = d0 <= d1
+            w = np.where(first, d0, d1)
+            rw = np.where(first, touched[0], touched[1])
+            in_t = (r == touched[0]) | (r == touched[1])
+            take = (w < v) | ((w == v) & (rw < r)) | (in_t & (w == v) & (rw <= r))
+            take &= live
+            rescan = live & in_t & ~take
+            if take.any():
+                self._col_min_val[take] = w[take]
+                self._col_min_row[take] = rw[take]
+        if rescan.any():
+            self._refresh_col_minima(np.nonzero(rescan)[0])
 
     # -------------------------------------------------------------- reports
 

@@ -67,10 +67,12 @@ def hill_climb(builder: ScoreMatrixBuilder, *, max_moves: int | None = None) -> 
 
     moves: List[Move] = []
     for _ in range(limit):
-        diff = builder.diff_matrix()
-        flat = int(np.argmin(diff))
-        row, col = divmod(flat, builder.n_cols)
-        gain = float(diff[row, col])
+        # O(M) lookup on the builder's incrementally maintained per-row
+        # argmin cache — no (M×N) diff materialization per move.
+        best = builder.best_move()
+        if best is None:
+            break
+        row, col, gain = best
         if not np.isfinite(gain) or gain >= -cfg.epsilon:
             break
         vm = builder.columns[col]

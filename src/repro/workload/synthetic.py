@@ -24,6 +24,8 @@ entire evaluation) meaningful.
 
 from __future__ import annotations
 
+import math
+
 from dataclasses import dataclass, field
 from typing import List, Optional, Sequence, Tuple
 
@@ -80,10 +82,13 @@ class SyntheticConfig:
     first_job_id: int = 1
 
     def __post_init__(self) -> None:
-        if self.horizon_s <= 0:
-            raise ConfigurationError("horizon must be positive")
-        if self.base_rate_per_hour <= 0:
-            raise ConfigurationError("arrival rate must be positive")
+        # `nan <= 0` is False, so a plain sign check would let NaN (and
+        # +inf) through into the arrival-thinning loop, which then never
+        # reaches its horizon.
+        if not math.isfinite(self.horizon_s) or self.horizon_s <= 0:
+            raise ConfigurationError("horizon must be finite and positive")
+        if not math.isfinite(self.base_rate_per_hour) or self.base_rate_per_hour <= 0:
+            raise ConfigurationError("arrival rate must be finite and positive")
         if not 0 < self.night_fraction <= 1 or not 0 < self.weekend_fraction <= 1:
             raise ConfigurationError("rate fractions must be in (0, 1]")
         total_p = sum(p for _, p in self.width_pmf)

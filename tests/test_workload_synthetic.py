@@ -21,6 +21,18 @@ class TestConfigValidation:
         with pytest.raises(ConfigurationError):
             SyntheticConfig(horizon_s=-1.0)
 
+    @pytest.mark.parametrize("bad", [float("nan"), float("inf")])
+    def test_non_finite_horizon_rejected(self, bad):
+        # A NaN horizon compares false against everything, so the
+        # arrival-thinning loop would never terminate.
+        with pytest.raises(ConfigurationError):
+            SyntheticConfig(horizon_s=bad)
+
+    @pytest.mark.parametrize("bad", [float("nan"), float("inf")])
+    def test_non_finite_rate_rejected(self, bad):
+        with pytest.raises(ConfigurationError):
+            SyntheticConfig(base_rate_per_hour=bad)
+
     def test_bad_width_pmf_rejected(self):
         with pytest.raises(ConfigurationError):
             SyntheticConfig(width_pmf=((1, 0.5), (2, 0.6)))
