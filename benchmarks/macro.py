@@ -1,0 +1,245 @@
+"""Macro benchmark: whole-simulation wall clock with a regression gate.
+
+Runs the paper's §V pipeline (synthetic Grid5000 week × 100-node
+datacenter) for a set of policies at a configurable fraction of the week
+and emits a machine-readable ``BENCH_*.json`` report.  Committed baselines
+live in ``benchmarks/baselines/``; CI re-runs the quick scale and fails
+when the *calibration-normalized* wall clock regresses by more than the
+tolerance (25 % by default), so the gate is meaningful across machines of
+different speeds.
+
+Two classes of check:
+
+* **performance** — each policy's wall clock is divided by the duration of
+  a fixed, deterministic calibration workload measured on the same
+  machine; the ratio of normalized times (new / baseline) must stay under
+  ``1 + tolerance``;
+* **determinism** — when the baseline was produced at the same scale and
+  seed, the simulation outputs (energy, CPU hours, migrations,
+  completions, event count) must match the baseline *exactly*; any drift
+  means the optimized code path changed semantics, which no tolerance
+  excuses.
+
+Usage::
+
+    PYTHONPATH=src python benchmarks/macro.py --scale 0.0714 \
+        --out BENCH_macro.json \
+        --check-against benchmarks/baselines/BENCH_macro_quick.json
+
+Regenerate a baseline after an intentional perf or semantics change::
+
+    PYTHONPATH=src python benchmarks/macro.py --scale 0.0714 \
+        --out benchmarks/baselines/BENCH_macro_quick.json
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+import time
+from typing import Dict, List, Optional
+
+import numpy as np
+
+SCHEMA = "repro-macro-bench/1"
+
+#: Quick scale used by the committed CI baseline (= benchmarks.conftest.SCALE).
+QUICK_SCALE = 1.0 / 14.0
+
+#: Result fields that must be bit-identical at equal (scale, seed).
+DETERMINISM_FIELDS = (
+    "energy_kwh",
+    "cpu_hours",
+    "migrations",
+    "n_completed",
+    "sim_events",
+)
+
+
+def _policy(name: str):
+    from repro.scheduling import BackfillingPolicy
+    from repro.scheduling.score import ScoreConfig
+    from repro.scheduling.score.policy import ScoreBasedPolicy
+
+    table = {
+        "SB": lambda: ScoreBasedPolicy(ScoreConfig.sb()),
+        "SB2": lambda: ScoreBasedPolicy(ScoreConfig.sb2()),
+        "SB-full": lambda: ScoreBasedPolicy(ScoreConfig.full()),
+        "BF": lambda: BackfillingPolicy(),
+    }
+    try:
+        return table[name]()
+    except KeyError:
+        raise SystemExit(
+            f"unknown policy {name!r} (choose from {sorted(table)})"
+        ) from None
+
+
+def calibrate(repeats: int = 5) -> float:
+    """Seconds for a fixed, deterministic reference workload (best of N).
+
+    The workload mixes the simulator's two cost centres — numpy
+    water-filling and Python-level dict/object churn — so the measured
+    duration scales with machine speed roughly the way a simulation run
+    does.  Normalizing wall clocks by this figure makes baselines
+    recorded on one machine comparable on another.
+    """
+    from repro.cluster.xen import compute_shares
+
+    caps = np.linspace(10.0, 390.0, 64)
+    weights = np.linspace(1.0, 3.0, 64)
+    best = float("inf")
+    for _ in range(repeats):
+        t0 = time.perf_counter()
+        acc = 0.0
+        for i in range(40):
+            shares = compute_shares(400.0, caps, weights)
+            acc += float(shares.sum())
+            d = {f"k{j}": float(j) * 0.5 for j in range(400)}
+            acc += sum(d.values()) * 1e-9
+        assert acc > 0
+        best = min(best, time.perf_counter() - t0)
+    return best
+
+
+def run_macro(
+    scale: float,
+    seed: int,
+    policies: List[str],
+    calibration_repeats: int = 5,
+) -> Dict:
+    """Run the benchmark and return the report dict (see module docs)."""
+    from repro.experiments.common import (
+        lambda_config,
+        paper_cluster,
+        paper_trace,
+        run_policy,
+    )
+
+    calibration_s = calibrate(calibration_repeats)
+    results: Dict[str, Dict] = {}
+    for name in policies:
+        trace = paper_trace(scale=scale, seed=seed)
+        t0 = time.perf_counter()
+        res = run_policy(
+            _policy(name),
+            trace,
+            cluster=paper_cluster(),
+            pm_config=lambda_config(),
+        )
+        wall = time.perf_counter() - t0
+        results[name] = {
+            "wall_clock_s": wall,
+            "normalized": wall / calibration_s,
+            "events_per_s": res.sim_events / wall if wall > 0 else 0.0,
+            "energy_kwh": res.energy_kwh,
+            "cpu_hours": res.cpu_hours,
+            "migrations": res.migrations,
+            "n_completed": res.n_completed,
+            "sim_events": res.sim_events,
+        }
+    return {
+        "schema": SCHEMA,
+        "scale": scale,
+        "seed": seed,
+        "calibration_s": calibration_s,
+        "results": results,
+    }
+
+
+def check_regression(
+    report: Dict, baseline: Dict, tolerance: float
+) -> List[str]:
+    """Compare a fresh report against a baseline; returns failure strings.
+
+    Performance is compared through the calibration-normalized wall
+    clock; determinism fields are compared exactly when (scale, seed)
+    match the baseline's.
+    """
+    failures: List[str] = []
+    if baseline.get("schema") != SCHEMA:
+        return [f"baseline schema {baseline.get('schema')!r} != {SCHEMA!r}"]
+    same_setup = (
+        baseline.get("scale") == report["scale"]
+        and baseline.get("seed") == report["seed"]
+    )
+    for name, base in baseline.get("results", {}).items():
+        new = report["results"].get(name)
+        if new is None:
+            failures.append(f"{name}: missing from this run")
+            continue
+        ratio = new["normalized"] / base["normalized"]
+        if ratio > 1.0 + tolerance:
+            failures.append(
+                f"{name}: normalized wall clock regressed {ratio:.2f}x "
+                f"(new {new['normalized']:.1f} vs base {base['normalized']:.1f}, "
+                f"tolerance {tolerance:.0%})"
+            )
+        if same_setup:
+            for field in DETERMINISM_FIELDS:
+                if new[field] != base[field]:
+                    failures.append(
+                        f"{name}: {field} drifted: {new[field]!r} != "
+                        f"baseline {base[field]!r} (determinism regression)"
+                    )
+    return failures
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument(
+        "--scale", type=float, default=QUICK_SCALE,
+        help="fraction of the paper's week to simulate (default: half a day)",
+    )
+    parser.add_argument("--seed", type=int, default=None,
+                        help="workload seed (default: the paper's)")
+    parser.add_argument(
+        "--policies", default="SB,BF",
+        help="comma-separated policy names (SB, SB2, SB-full, BF)",
+    )
+    parser.add_argument("--out", default="BENCH_macro.json",
+                        help="where to write the JSON report")
+    parser.add_argument(
+        "--check-against", default=None, metavar="BASELINE",
+        help="baseline JSON to gate against (exit 1 on regression)",
+    )
+    parser.add_argument(
+        "--tolerance", type=float, default=0.25,
+        help="allowed normalized wall-clock regression (default 0.25)",
+    )
+    args = parser.parse_args(argv)
+
+    from repro.experiments.common import DEFAULT_SEED
+
+    seed = args.seed if args.seed is not None else DEFAULT_SEED
+    policies = [p.strip() for p in args.policies.split(",") if p.strip()]
+    report = run_macro(args.scale, seed, policies)
+
+    with open(args.out, "w") as f:
+        json.dump(report, f, indent=1, sort_keys=True)
+        f.write("\n")
+    print(f"calibration: {report['calibration_s'] * 1e3:.1f} ms")
+    for name, row in report["results"].items():
+        print(
+            f"{name}: {row['wall_clock_s']:.2f}s wall "
+            f"({row['normalized']:.1f}x calib, "
+            f"{row['events_per_s']:.0f} events/s, "
+            f"{row['sim_events']} events)"
+        )
+    print(f"wrote {args.out}")
+
+    if args.check_against:
+        with open(args.check_against) as f:
+            baseline = json.load(f)
+        failures = check_regression(report, baseline, args.tolerance)
+        if failures:
+            for line in failures:
+                print(f"REGRESSION: {line}", file=sys.stderr)
+            return 1
+        print(f"regression gate passed vs {args.check_against}")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -16,6 +16,21 @@ A :class:`Host` tracks, at any simulation instant:
 The host itself is simulator-agnostic: the engine calls
 :meth:`Host.recompute_shares` whenever residency or operations change, and
 reads :meth:`Host.power_watts` to feed the energy account.
+
+Occupancy aggregates are **incremental**: the totals behind
+:meth:`cpu_reserved` / :meth:`mem_reserved` / :meth:`has_exclusive` are
+maintained across :meth:`add_vm` / :meth:`remove_vm` / :meth:`reserve` /
+:meth:`release_reservation` (and :meth:`note_requirement_change` for SLA
+inflation), so occupancy reads are O(1) instead of O(resident VMs) — the
+per-event steady-state cost of the engine stays O(dirty hosts).
+
+The totals are kept *bit-identical* to the historical per-call sums: an
+addition appends to the running sum (the new VM also appends to the dict,
+so ``cached + value`` is float-for-float the recomputed in-order sum),
+while a removal or an in-place requirement change merely invalidates the
+cache and the next read re-sums in residency order.  Reads therefore never
+observe reordered float addition, and :meth:`verify_aggregates` can check
+the invariant exactly.
 """
 
 from __future__ import annotations
@@ -83,6 +98,17 @@ class Host:
         #: In-flight operations.
         self.operations: List[Operation] = []
         self._scheduler = CreditScheduler(spec.cpu_capacity)
+        # Incremental occupancy aggregates.  The VM- and reservation-side
+        # sums are cached separately (the legacy formula added them in that
+        # order) and invalidated on removal/in-place change; see module
+        # docstring for the bit-identity argument.
+        self._vm_cpu_sum = 0.0
+        self._vm_mem_sum = 0.0
+        self._vm_sums_valid = True
+        self._rsv_cpu_sum = 0.0
+        self._rsv_mem_sum = 0.0
+        self._rsv_sums_valid = True
+        self._n_exclusive = 0
         #: Total CPU percent in use (guests + overheads); updated by
         #: :meth:`recompute_shares`.
         self.cpu_used = 0.0
@@ -132,7 +158,23 @@ class Host:
 
     def has_exclusive(self) -> bool:
         """Whether a whole-node (exclusive) VM holds this host."""
-        return any(vm.exclusive for vm in self.vms.values())
+        return self._n_exclusive > 0
+
+    def _validate_sums(self) -> None:
+        """Re-sum the invalidated caches in residency order (O(residents)).
+
+        Runs only after a removal or an in-place requirement change on this
+        host — both of which already put the host on the engine's dirty
+        list — so steady-state occupancy reads stay O(1).
+        """
+        if not self._vm_sums_valid:
+            self._vm_cpu_sum = sum(vm.cpu_req for vm in self.vms.values())
+            self._vm_mem_sum = sum(vm.mem_req for vm in self.vms.values())
+            self._vm_sums_valid = True
+        if not self._rsv_sums_valid:
+            self._rsv_cpu_sum = sum(cpu for cpu, _ in self.reservations.values())
+            self._rsv_mem_sum = sum(mem for _, mem in self.reservations.values())
+            self._rsv_sums_valid = True
 
     def cpu_reserved(self, extra_cpu: float = 0.0) -> float:
         """Total *requested* CPU percent (not actual shares).
@@ -141,18 +183,22 @@ class Host:
         demand — this is what inflates the CPU(h) column for the static
         RD/RR disciplines exactly as the paper's Table II shows.
         """
-        if self.has_exclusive():
+        if self._n_exclusive:
             return self.spec.cpu_capacity + extra_cpu
-        total = sum(vm.cpu_req for vm in self.vms.values())
-        total += sum(cpu for cpu, _ in self.reservations.values())
+        if not (self._vm_sums_valid and self._rsv_sums_valid):
+            self._validate_sums()
+        total = self._vm_cpu_sum
+        total += self._rsv_cpu_sum
         return total + extra_cpu
 
     def mem_reserved(self, extra_mem: float = 0.0) -> float:
         """Total requested memory in MB (full machine under exclusivity)."""
-        if self.has_exclusive():
+        if self._n_exclusive:
             return self.spec.mem_mb + extra_mem
-        total = sum(vm.mem_req for vm in self.vms.values())
-        total += sum(mem for _, mem in self.reservations.values())
+        if not (self._vm_sums_valid and self._rsv_sums_valid):
+            self._validate_sums()
+        total = self._vm_mem_sum
+        total += self._rsv_mem_sum
         return total + extra_mem
 
     def occupation(self, extra_cpu: float = 0.0, extra_mem: float = 0.0) -> float:
@@ -198,13 +244,24 @@ class Host:
             raise StateError(f"host {self.host_id} is {self.state.value}")
         self.vms[vm.vm_id] = vm
         vm.host_id = self.host_id
+        # The VM appended at the end of the dict: extending the cached sum
+        # equals the recomputed in-order sum, float for float.
+        if self._vm_sums_valid:
+            self._vm_cpu_sum += vm.cpu_req
+            self._vm_mem_sum += vm.mem_req
+        if vm.exclusive:
+            self._n_exclusive += 1
 
     def remove_vm(self, vm_id: int) -> Vm:
         """Remove a resident VM (completion, migration-out, or failure)."""
         try:
-            return self.vms.pop(vm_id)
+            vm = self.vms.pop(vm_id)
         except KeyError:
             raise StateError(f"vm {vm_id} not on host {self.host_id}") from None
+        self._vm_sums_valid = False
+        if vm.exclusive:
+            self._n_exclusive -= 1
+        return vm
 
     def reserve(self, vm: Vm) -> None:
         """Reserve capacity for an inbound migration."""
@@ -213,10 +270,68 @@ class Host:
                 f"host {self.host_id} cannot reserve for vm {vm.vm_id}"
             )
         self.reservations[vm.vm_id] = (vm.cpu_req, vm.mem_req)
+        if self._rsv_sums_valid:
+            self._rsv_cpu_sum += vm.cpu_req
+            self._rsv_mem_sum += vm.mem_req
 
     def release_reservation(self, vm_id: int) -> None:
         """Drop an inbound reservation (migration completed or aborted)."""
-        self.reservations.pop(vm_id, None)
+        if self.reservations.pop(vm_id, None) is not None:
+            self._rsv_sums_valid = False
+
+    def note_requirement_change(self, vm: Vm) -> None:
+        """Tell the host a *resident* VM's requirement changed in place.
+
+        Dynamic SLA enforcement inflates ``vm.cpu_req`` while the VM sits
+        on this host; the cached occupancy sums must be re-derived.  A
+        no-op for non-resident VMs.
+        """
+        if vm.vm_id in self.vms:
+            self._vm_sums_valid = False
+
+    def evacuate(self) -> None:
+        """Drop all residents, reservations and in-flight operations.
+
+        The host-failure handler uses this instead of clearing the dicts
+        directly so the occupancy aggregates reset with them.
+        """
+        self.vms.clear()
+        self.reservations.clear()
+        self.operations.clear()
+        self._vm_cpu_sum = 0.0
+        self._vm_mem_sum = 0.0
+        self._vm_sums_valid = True
+        self._rsv_cpu_sum = 0.0
+        self._rsv_mem_sum = 0.0
+        self._rsv_sums_valid = True
+        self._n_exclusive = 0
+
+    def verify_aggregates(self) -> bool:
+        """Debug oracle: recompute every aggregate from scratch and compare.
+
+        Raises :class:`~repro.errors.StateError` on any (exact) mismatch;
+        returns True otherwise so it can sit inside an ``assert``.
+        """
+        exp_excl = sum(1 for vm in self.vms.values() if vm.exclusive)
+        if exp_excl != self._n_exclusive:
+            raise StateError(
+                f"host {self.host_id}: exclusive counter {self._n_exclusive}"
+                f" != recount {exp_excl}"
+            )
+        self._validate_sums()
+        checks = (
+            ("vm cpu", self._vm_cpu_sum, sum(vm.cpu_req for vm in self.vms.values())),
+            ("vm mem", self._vm_mem_sum, sum(vm.mem_req for vm in self.vms.values())),
+            ("rsv cpu", self._rsv_cpu_sum, sum(c for c, _ in self.reservations.values())),
+            ("rsv mem", self._rsv_mem_sum, sum(m for _, m in self.reservations.values())),
+        )
+        for label, cached, fresh in checks:
+            if cached != fresh:
+                raise StateError(
+                    f"host {self.host_id}: {label} aggregate {cached!r}"
+                    f" != from-scratch {fresh!r}"
+                )
+        return True
 
     # ------------------------------------------------------------ operations
 
@@ -275,34 +390,42 @@ class Host:
         CREATING VMs get no CPU (the creation *operation* does); each
         operation leg demands its configured overhead.
         """
-        demands: Dict[str, float] = {}
-        weights: Dict[str, float] = {}
-        vm_keys: Dict[str, Vm] = {}
-        for vm in self.vms.values():
-            if vm.state in (VmState.RUNNING, VmState.MIGRATING):
-                key = f"vm:{vm.vm_id}"
-                demands[key] = vm.job.cpu_pct
-                weights[key] = vm.cpu_req
-                vm_keys[key] = vm
-        for idx, op in enumerate(self.operations):
-            key = f"op:{idx}:{op.vm_id}"
-            demands[key] = op.cpu_overhead
-            weights[key] = op.cpu_overhead
-
         if not self.is_on:
             for vm in self.vms.values():
                 vm.share = 0.0
             self.cpu_used = 0.0
             return
 
-        shares = self._scheduler.allocate(demands, weights) if demands else {}
-        for key, vm in vm_keys.items():
-            vm.share = shares.get(key, 0.0)
+        # Positional domains — running/migrating VMs in residency order,
+        # then operation legs — so the solver needs no per-call key
+        # formatting or dict churn on this per-dirty-host-event path.
+        guests: List[Vm] = [
+            vm
+            for vm in self.vms.values()
+            if vm.state is VmState.RUNNING or vm.state is VmState.MIGRATING
+        ]
+        caps: List[float] = [vm.job.cpu_pct for vm in guests]
+        weights: List[float] = [vm.cpu_req for vm in guests]
+        for op in self.operations:
+            caps.append(op.cpu_overhead)
+            weights.append(op.cpu_overhead)
+
+        if caps:
+            shares = self._scheduler.allocate_arrays(caps, weights)
+            total = 0.0
+            for i, vm in enumerate(guests):
+                s = float(shares[i])
+                vm.share = s
+                total += s
+            for i in range(len(guests), len(caps)):
+                total += float(shares[i])
+        else:
+            total = 0.0
         # CREATING VMs make no progress.
         for vm in self.vms.values():
             if vm.state is VmState.CREATING:
                 vm.share = 0.0
-        self.cpu_used = float(sum(shares.values()))
+        self.cpu_used = total
 
     # ----------------------------------------------------------------- power
 

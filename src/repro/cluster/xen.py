@@ -143,5 +143,19 @@ class CreditScheduler:
         names = list(demands.keys())
         caps = [demands[n] for n in names]
         w = [weights[n] for n in names] if weights is not None else None
-        shares = compute_shares(self.capacity, caps, w)
+        shares = self.allocate_arrays(caps, w)
         return {n: float(s) for n, s in zip(names, shares)}
+
+    def allocate_arrays(
+        self,
+        caps: Sequence[float],
+        weights: Optional[Sequence[float]] = None,
+    ) -> "np.ndarray":
+        """Positional form of :meth:`allocate` — no keys, no result dict.
+
+        ``shares[i]`` belongs to domain ``i`` of ``caps``.  This is the
+        hot-path entry used by :meth:`repro.cluster.host.Host.recompute_shares`
+        on every dirty-host event; the dict form above remains for callers
+        that want named domains.
+        """
+        return compute_shares(self.capacity, caps, weights)

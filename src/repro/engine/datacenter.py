@@ -31,6 +31,17 @@ Between those points :meth:`~repro.cluster.vm.Vm.eta` stays exact because
 it anchors its projection at ``last_progress_t`` rather than assuming the
 integral is current.  This turns the per-event cost from O(placed VMs)
 into O(VMs on dirty hosts).
+
+The steady-state path is O(dirty hosts) end-to-end: ``self.vms`` is the
+*historical* registry (a week-long trace ends with thousands of dead
+entries), so every recurring consumer — :meth:`_context`, the SLA checks,
+the checkpoint tick — walks ``self._live`` instead, an insertion-ordered
+dict holding only VMs that still need attention (queued or placed, in
+arrival order, so policies see exactly the sequences the historical
+full-dict filter produced).  Node metrics are delta-maintained from the
+same dirty-host sweep (see :mod:`repro.engine.metrics`); only checkpoint
+snapshots and the end-of-run result builder may touch everything — see
+``docs/architecture.md`` for the invariant.
 """
 
 from __future__ import annotations
@@ -115,6 +126,10 @@ class DatacenterSimulation(ActuatorsMixin):
             h.state = HostState.ON
 
         self.vms: Dict[int, Vm] = {}
+        #: Live set: VMs still queued or placed, in arrival order.  The
+        #: steady-state scans (context building, SLA checks, checkpoint
+        #: tick) iterate this instead of the ever-growing ``self.vms``.
+        self._live: Dict[int, Vm] = {}
         #: FIFO of waiting VMs, keyed by vm_id (insertion-ordered dict so
         #: :meth:`queue_remove` is O(1) instead of a list scan).
         self.queue: Dict[int, Vm] = {}
@@ -216,7 +231,7 @@ class DatacenterSimulation(ActuatorsMixin):
             self.sim.schedule(0.0, self._round, priority=100, label="round")
 
     def _context(self) -> SchedulingContext:
-        placed = tuple(vm for vm in self.vms.values() if vm.is_placed)
+        placed = tuple(vm for vm in self._live.values() if vm.is_placed)
         return SchedulingContext(
             now=self.sim.now,
             hosts=self.hosts,
@@ -228,8 +243,10 @@ class DatacenterSimulation(ActuatorsMixin):
         self._round_pending = False
 
         if self.sla_monitor is not None:
-            running = [vm for vm in self.vms.values() if vm.is_placed]
-            violated = self.sla_monitor.check(running, self.sim.now)
+            running = [vm for vm in self._live.values() if vm.is_placed]
+            violated = self.sla_monitor.check(
+                running, self.sim.now, on_inflate=self._note_inflation
+            )
             for vm in violated:
                 self.metrics.counters.incr("sla_inflations")
                 self.emit(
@@ -263,6 +280,7 @@ class DatacenterSimulation(ActuatorsMixin):
             self._job_finished()
             return
         self.queue[vm.vm_id] = vm
+        self._live[vm.vm_id] = vm
         self.emit(TraceEventKind.JOB_ARRIVAL, vm_id=vm.vm_id)
         self.trigger_round()
 
@@ -401,9 +419,7 @@ class DatacenterSimulation(ActuatorsMixin):
             vm.last_progress_t = self.sim.now
             self.queue[vm.vm_id] = vm
 
-        host.vms.clear()
-        host.reservations.clear()
-        host.operations.clear()
+        host.evacuate()
         host.state = HostState.FAILED
         self._dirty.add(host.host_id)
         self._refresh()
@@ -433,7 +449,7 @@ class DatacenterSimulation(ActuatorsMixin):
         # current here — the one remaining global touch point.
         self._touch_all()
         hosts_snapshotting = set()
-        for vm in self.vms.values():
+        for vm in self._live.values():
             if vm.state in (VmState.RUNNING, VmState.MIGRATING):
                 self.checkpoints.record(vm.vm_id, self.sim.now, vm.work_done)
                 if vm.host_id is not None:
@@ -475,8 +491,10 @@ class DatacenterSimulation(ActuatorsMixin):
             return
         # Fulfilment projections are stale-proof (eta anchors at the last
         # touch), so no global advancement is needed here.
-        running = [vm for vm in self.vms.values() if vm.is_placed]
-        violated = self.sla_monitor.check(running, self.sim.now)
+        running = [vm for vm in self._live.values() if vm.is_placed]
+        violated = self.sla_monitor.check(
+            running, self.sim.now, on_inflate=self._note_inflation
+        )
         if violated:
             for vm in violated:
                 self.metrics.counters.incr("sla_inflations")
@@ -517,20 +535,38 @@ class DatacenterSimulation(ActuatorsMixin):
 
         Only needed where absolute progress of *all* VMs is read at once
         (checkpoint snapshots, the end-of-run result); everything else
-        relies on lazy per-host advancement in :meth:`_refresh`.
+        relies on lazy per-host advancement in :meth:`_refresh`.  Iterates
+        the live set — O(placed VMs), independent of host count and of how
+        many VMs have completed over the whole run.
         """
         now = self.sim.now
-        for host in self.hosts:
-            if not host.vms:
-                continue
-            for vm in host.vms.values():
+        for vm in self._live.values():
+            if vm.is_placed:
                 vm.advance(now)
+
+    def _note_inflation(self, vm: Vm) -> None:
+        """Resync incremental state after a VM's in-place SLA inflation.
+
+        Inflation changes ``vm.cpu_req`` behind the hosting machine's
+        back; the host's occupancy aggregates and the metrics collector's
+        per-host contribution must follow.  The host is deliberately *not*
+        marked dirty — shares react only when a round actually moves or
+        re-solves something, exactly as the full-scan engine behaved.
+        """
+        if vm.host_id is None:
+            return
+        host = self.hosts_by_id.get(vm.host_id)
+        if host is None:
+            return
+        host.note_requirement_change(vm)
+        self.metrics.host_changed(host)
 
     def _complete_vm(self, vm: Vm, host: Host) -> None:
         vm.state = VmState.COMPLETED
         vm.job.state = JobState.COMPLETED
         vm.job.finish_time = self.sim.now
         host.remove_vm(vm.vm_id)
+        self._live.pop(vm.vm_id, None)
         self._cancel_completion(vm)
         self.checkpoints.forget(vm.vm_id)
         self.metrics.counters.incr("completions")
@@ -567,8 +603,16 @@ class DatacenterSimulation(ActuatorsMixin):
         )
 
     def _refresh(self) -> None:
-        """Recompute shares/power on dirty hosts; refresh node metrics."""
+        """Recompute shares/power on dirty hosts; refresh node metrics.
+
+        O(VMs on dirty hosts) per event: the dirty sweep reports each
+        touched host's node-state transition to the metrics collector,
+        and the final :meth:`MetricsCollector.refresh` is an O(1) sample
+        of the delta-maintained totals (no host scan, even when the dirty
+        set is empty).
+        """
         now = self.sim.now
+        metrics = self.metrics
         for hid in sorted(self._dirty):
             host = self.hosts_by_id[hid]
             # Bank progress at the old shares before recomputing: shares
@@ -576,7 +620,8 @@ class DatacenterSimulation(ActuatorsMixin):
             # at a constant share and need no per-event attention.
             self._touch_host(host)
             host.recompute_shares()
-            self.metrics.refresh_power(now, host)
+            metrics.refresh_power(now, host)
+            metrics.host_changed(host)
             for vm in host.vms.values():
                 if vm.state is VmState.RUNNING:
                     self._reschedule_completion(vm)
@@ -584,7 +629,7 @@ class DatacenterSimulation(ActuatorsMixin):
                     # Completion is checked at migration end; no event now.
                     self._cancel_completion(vm)
         self._dirty.clear()
-        self.metrics.refresh(now)
+        metrics.refresh(now)
 
     # --------------------------------------------------------------- result
 

@@ -13,11 +13,22 @@ Implements exactly the columns of the paper's Tables II–V:
 * ``Mig`` — completed migrations.
 
 All time-weighted signals are exact between events (piecewise-constant).
+
+The node-state signals are **delta-maintained**: each host's contribution
+(online 0/1, working 0/1, reserved CPU) is cached, and the engine reports
+per-host transitions through :meth:`MetricsCollector.host_changed` during
+its dirty-host sweep.  :meth:`MetricsCollector.refresh` then just samples
+the running totals — O(1) per event instead of a scan over every host ×
+resident VM.  The working/online counts are integers, so the totals are
+exactly the from-scratch counts; the reserved-CPU total is float-exact for
+requirement values with short binary fractions (the synthetic workloads
+use whole core-percents, and SLA inflation scales by 5/4), which
+:meth:`verify_against_scan` checks in the property tests.
 """
 
 from __future__ import annotations
 
-from typing import Dict, List, Optional, Sequence
+from typing import Dict, List, Optional, Sequence, Tuple
 
 from repro.cluster.energy import EnergyAccount
 from repro.cluster.host import Host
@@ -56,10 +67,63 @@ class MetricsCollector:
         }
         self._total_watts = sum(self._last_watts.values())
 
+        # Per-host node-state contributions and their running totals.
+        self._online = 0
+        self._working = 0
+        self._reserved = 0.0
+        self._contrib: Dict[int, Tuple[int, int, float]] = {}
+        for h in self._hosts:
+            c = self._contribution(h)
+            self._contrib[h.host_id] = c
+            self._online += c[0]
+            self._working += c[1]
+            self._reserved += c[2]
+
     # -------------------------------------------------------------- updates
 
+    @staticmethod
+    def _contribution(host: Host) -> Tuple[int, int, float]:
+        """One host's (online, working, reserved-CPU) terms; O(1) reads."""
+        if not host.is_available:
+            return (0, 0, 0.0)
+        working = 1 if (host.is_working or host.operations) else 0
+        return (1, working, host.cpu_reserved())
+
+    def host_changed(self, host: Host) -> None:
+        """Fold one host's state transition into the running totals.
+
+        The engine calls this for every dirty host (and on SLA requirement
+        inflation, which dirties nothing); anything that can change a
+        host's contribution passes through one of those two paths.
+        """
+        old = self._contrib[host.host_id]
+        new = self._contribution(host)
+        if new != old:
+            self._online += new[0] - old[0]
+            self._working += new[1] - old[1]
+            self._reserved += new[2] - old[2]
+            self._contrib[host.host_id] = new
+
     def refresh(self, now: float) -> None:
-        """Re-sample all node-state signals (cheap: one pass over hosts)."""
+        """Sample the node-state signals at ``now`` — O(1).
+
+        Called on every event even when nothing changed: skipping a sample
+        would merge integral segments and change the floating-point
+        rounding of the Work/ON/CPU(h) columns relative to the historical
+        every-event scan.
+        """
+        self.working_nodes.update(now, float(self._working))
+        self.online_nodes.update(now, float(self._online))
+        self.reserved_cpu_pct.update(now, self._reserved)
+
+    def verify_against_scan(self) -> bool:
+        """Debug oracle: compare the running totals with a full host scan.
+
+        Exact comparison for the integer counts; the reserved-CPU float is
+        compared exactly too — callers feeding requirement values with
+        long binary fractions should expect (and test for) ULP-level
+        drift instead.  Raises AssertionError on mismatch, else True.
+        """
         working = 0
         online = 0
         reserved = 0.0
@@ -69,9 +133,10 @@ class MetricsCollector:
                 if h.is_working or h.operations:
                     working += 1
                 reserved += h.cpu_reserved()
-        self.working_nodes.update(now, float(working))
-        self.online_nodes.update(now, float(online))
-        self.reserved_cpu_pct.update(now, reserved)
+        assert online == self._online, (online, self._online)
+        assert working == self._working, (working, self._working)
+        assert reserved == self._reserved, (reserved, self._reserved)
+        return True
 
     def refresh_power(self, now: float, host: Host) -> None:
         """Update one host's power draw and the datacenter aggregate."""

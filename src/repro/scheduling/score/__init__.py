@@ -20,7 +20,7 @@ pass then repeatedly applies the most beneficial move until no negative
 """
 
 from repro.scheduling.score.config import ScoreConfig
-from repro.scheduling.score.matrix import ScoreMatrixBuilder
+from repro.scheduling.score.matrix import HostArrayCache, ScoreMatrixBuilder
 from repro.scheduling.score.solver import hill_climb, Move
 from repro.scheduling.score.policy import ScoreBasedPolicy
 from repro.scheduling.score.explain import (
@@ -32,6 +32,7 @@ from repro.scheduling.score.explain import (
 
 __all__ = [
     "ScoreConfig",
+    "HostArrayCache",
     "ScoreMatrixBuilder",
     "hill_climb",
     "Move",

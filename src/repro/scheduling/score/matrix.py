@@ -56,9 +56,57 @@ from repro.cluster.vm import Vm, VmState
 from repro.errors import SchedulingError
 from repro.scheduling.score.config import ScoreConfig
 
-__all__ = ["ScoreMatrixBuilder"]
+__all__ = ["HostArrayCache", "ScoreMatrixBuilder"]
 
 INF = np.inf
+
+
+class HostArrayCache:
+    """Static host-side arrays, built once per simulation.
+
+    Host specs never change during a run, yet every scheduling round used
+    to rebuild the capacity/cost/reliability/arch arrays from Python
+    attribute access over all hosts.  A policy builds this cache on first
+    use and hands it to every :class:`ScoreMatrixBuilder` for the same
+    host sequence; the builder treats the arrays as read-only (its
+    per-round dynamic state — reserved resources, VM counts, concurrency
+    costs, availability — stays per-builder).
+
+    :meth:`matches` guards reuse: the fast path is sequence identity (the
+    engine passes the same ``hosts`` list every round); a rebuilt list of
+    the *same* Host objects is also accepted.
+    """
+
+    __slots__ = (
+        "hosts",
+        "host_index",
+        "cap_cpu",
+        "cap_mem",
+        "cc",
+        "cm",
+        "rel",
+        "arch",
+        "hyp",
+    )
+
+    def __init__(self, hosts: Sequence[Host]) -> None:
+        self.hosts = list(hosts)
+        self.host_index = {h.host_id: i for i, h in enumerate(self.hosts)}
+        self.cap_cpu = np.array([h.spec.cpu_capacity for h in self.hosts])
+        self.cap_mem = np.array([h.spec.mem_mb for h in self.hosts])
+        self.cc = np.array([h.spec.creation_s for h in self.hosts])
+        self.cm = np.array([h.spec.migration_s for h in self.hosts])
+        self.rel = np.array([h.spec.reliability for h in self.hosts])
+        self.arch = np.array([h.spec.arch for h in self.hosts])
+        self.hyp = np.array([h.spec.hypervisor for h in self.hosts])
+
+    def matches(self, hosts: Sequence[Host]) -> bool:
+        """Whether this cache was built from exactly these host objects."""
+        if hosts is self.hosts:
+            return True
+        if len(hosts) != len(self.hosts):
+            return False
+        return all(a is b for a, b in zip(hosts, self.hosts))
 
 
 class ScoreMatrixBuilder:
@@ -79,6 +127,9 @@ class ScoreMatrixBuilder:
     fulfillments:
         Optional vm_id → SLA fulfilment map (required when
         ``config.enable_sla``).
+    host_cache:
+        Optional :class:`HostArrayCache` for these hosts — skips
+        rebuilding the static host-side arrays (built fresh when absent).
     """
 
     def __init__(
@@ -88,8 +139,12 @@ class ScoreMatrixBuilder:
         now: float,
         config: ScoreConfig,
         fulfillments: Optional[Dict[int, float]] = None,
+        host_cache: Optional[HostArrayCache] = None,
     ) -> None:
-        self.hosts = list(hosts)
+        if host_cache is None or not host_cache.matches(hosts):
+            host_cache = HostArrayCache(hosts)
+        self.host_cache = host_cache
+        self.hosts = host_cache.hosts
         self.columns = list(columns)
         self.now = float(now)
         self.config = config
@@ -102,20 +157,23 @@ class ScoreMatrixBuilder:
                     f"vm {vm.vm_id} has an operation in flight and cannot be a column"
                 )
 
-        host_index = {h.host_id: i for i, h in enumerate(self.hosts)}
+        host_index = host_cache.host_index
 
         # ---- host-side arrays -------------------------------------------
+        # Static arrays come from the per-simulation cache; dynamic state
+        # (availability, occupancy, concurrency, in-round pending costs)
+        # is rebuilt per round from the hosts' O(1) occupancy aggregates.
         self.avail = np.array([h.is_available for h in self.hosts], dtype=bool)
-        self.cap_cpu = np.array([h.spec.cpu_capacity for h in self.hosts])
-        self.cap_mem = np.array([h.spec.mem_mb for h in self.hosts])
+        self.cap_cpu = host_cache.cap_cpu
+        self.cap_mem = host_cache.cap_mem
         self.res_cpu = np.array([h.cpu_reserved() for h in self.hosts])
         self.res_mem = np.array([h.mem_reserved() for h in self.hosts])
         self.nvms = np.array([h.n_vms for h in self.hosts], dtype=float)
         self.conc = np.array([h.concurrency_cost for h in self.hosts])
         self.pending = np.zeros(self.n_rows)
-        self.cc = np.array([h.spec.creation_s for h in self.hosts])
-        self.cm = np.array([h.spec.migration_s for h in self.hosts])
-        self.rel = np.array([h.spec.reliability for h in self.hosts])
+        self.cc = host_cache.cc
+        self.cm = host_cache.cm
+        self.rel = host_cache.rel
 
         # ---- vm-side arrays ----------------------------------------------
         self.vcpu = np.array([vm.cpu_req for vm in self.columns])
@@ -144,8 +202,8 @@ class ScoreMatrixBuilder:
             self.fulf = np.ones(self.n_cols)
 
         # Requirement feasibility is string-based and static for the round.
-        host_arch = np.array([h.spec.arch for h in self.hosts])
-        host_hyp = np.array([h.spec.hypervisor for h in self.hosts])
+        host_arch = host_cache.arch
+        host_hyp = host_cache.hyp
         vm_arch = np.array([vm.job.arch for vm in self.columns])
         vm_hyp = np.array([vm.job.hypervisor for vm in self.columns])
         if self.n_cols:

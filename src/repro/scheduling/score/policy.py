@@ -27,7 +27,7 @@ from repro.cluster.vm import Vm, VmState
 from repro.scheduling.actions import Action, Migrate, Place
 from repro.scheduling.base import SchedulingContext, SchedulingPolicy
 from repro.scheduling.score.config import ScoreConfig
-from repro.scheduling.score.matrix import ScoreMatrixBuilder
+from repro.scheduling.score.matrix import HostArrayCache, ScoreMatrixBuilder
 from repro.scheduling.score.solver import hill_climb
 from repro.sla.monitor import fulfillment
 
@@ -71,6 +71,20 @@ class ScoreBasedPolicy(SchedulingPolicy):
             raise ConfigurationError(f"unknown solver {solver!r}")
         self.name = name if name is not None else self._derive_name()
         self._next_consolidation = 0.0
+        self._host_cache: Optional[HostArrayCache] = None
+
+    def _cached_host_arrays(self, ctx: SchedulingContext) -> HostArrayCache:
+        """The per-simulation static host arrays (rebuilt on a new cluster).
+
+        Policies may be reused across simulations with different clusters;
+        :meth:`HostArrayCache.matches` catches that (identity fast path on
+        the engine's stable host list, element-wise identity otherwise).
+        """
+        cache = self._host_cache
+        if cache is None or not cache.matches(ctx.hosts):
+            cache = HostArrayCache(ctx.hosts)
+            self._host_cache = cache
+        return cache
 
     def _derive_name(self) -> str:
         cfg = self.config
@@ -131,6 +145,7 @@ class ScoreBasedPolicy(SchedulingPolicy):
             now=ctx.now,
             config=self.config,
             fulfillments=fulfills,
+            host_cache=self._cached_host_arrays(ctx),
         )
         if self.solver == "hill_climb":
             moves = hill_climb(builder)
@@ -170,8 +185,9 @@ class ScoreBasedPolicy(SchedulingPolicy):
             now=ctx.now,
             config=self.config,
             fulfillments=fulfills,
+            host_cache=self._cached_host_arrays(ctx),
         )
-        row_of = {h.host_id: i for i, h in enumerate(builder.hosts)}
+        row_of = builder.host_cache.host_index
         return sorted(
             candidates,
             key=lambda h: (-builder.host_row_score(row_of[h.host_id]), -h.host_id),

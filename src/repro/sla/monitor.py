@@ -22,7 +22,7 @@ the VM will be rescheduled in another node with more available resources").
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Dict, List
+from typing import Callable, Dict, List, Optional
 
 from repro.cluster.vm import Vm, VmState
 from repro.units import clamp
@@ -95,8 +95,21 @@ class SlaMonitor:
         self._last_inflation: Dict[int, float] = {}
         self.violations: List[SlaViolation] = []
 
-    def check(self, vms: List[Vm], now: float, *, enforce: bool = True) -> List[Vm]:
-        """Assess all VMs; inflate violators; return VMs needing a reschedule."""
+    def check(
+        self,
+        vms: List[Vm],
+        now: float,
+        *,
+        enforce: bool = True,
+        on_inflate: Optional[Callable[[Vm], None]] = None,
+    ) -> List[Vm]:
+        """Assess all VMs; inflate violators; return VMs needing a reschedule.
+
+        ``on_inflate`` is invoked right after each inflation — the engine
+        uses it to resync the hosting machine's incremental occupancy
+        aggregates and metric contributions (the inflation changes
+        ``vm.cpu_req`` in place, behind the host's back).
+        """
         needs_attention: List[Vm] = []
         for vm in vms:
             if not vm.is_active:
@@ -112,6 +125,8 @@ class SlaMonitor:
                 vm.inflate(self.inflation_factor)
                 self._last_inflation[vm.vm_id] = now
                 needs_attention.append(vm)
+                if on_inflate is not None:
+                    on_inflate(vm)
         return needs_attention
 
     @property

@@ -77,10 +77,12 @@ class TestMetricsCollector:
         vm = Vm(job)
         vm.state = VmState.RUNNING
         host.add_vm(vm)
+        m.host_changed(host)  # the engine reports transitions of dirty hosts
         m.refresh(5.0)
         m.close(10.0)
         # Working for the second half only.
         assert m.avg_working == pytest.approx(0.5)
+        assert m.verify_against_scan()
 
     def test_cpu_hours_integrates_reservations(self):
         host = self._host()
@@ -90,6 +92,7 @@ class TestMetricsCollector:
         vm = Vm(job)
         vm.state = VmState.RUNNING
         host.add_vm(vm)
+        m.host_changed(host)
         m.refresh(0.0)
         m.close(3600.0)
         # 200% CPU for an hour = 2 core-hours.
