@@ -108,15 +108,32 @@ def run_macro(
     seed: int,
     policies: List[str],
     calibration_repeats: int = 5,
+    strict_invariants: bool = False,
 ) -> Dict:
-    """Run the benchmark and return the report dict (see module docs)."""
+    """Run the benchmark and return the report dict (see module docs).
+
+    ``strict_invariants=True`` runs the engine with the incremental-state
+    oracles enabled (``raise`` mode).  The checks piggyback on regular
+    events, so every determinism field — including ``sim_events`` — must
+    match a baseline recorded without them; CI uses this to prove the
+    guard rails are semantics-free.
+    """
+    from repro.engine.config import EngineConfig
     from repro.experiments.common import (
+        DEFAULT_SEED,
         lambda_config,
         paper_cluster,
         paper_trace,
         run_policy,
     )
 
+    # run_policy's engine seed has always been the paper default (the
+    # sweep seed only shapes the trace); keep that exactly.
+    engine_config = (
+        EngineConfig(seed=DEFAULT_SEED, strict_invariants=True)
+        if strict_invariants
+        else None
+    )
     calibration_s = calibrate(calibration_repeats)
     results: Dict[str, Dict] = {}
     for name in policies:
@@ -127,6 +144,7 @@ def run_macro(
             trace,
             cluster=paper_cluster(),
             pm_config=lambda_config(),
+            engine_config=engine_config,
         )
         wall = time.perf_counter() - t0
         results[name] = {
@@ -208,13 +226,21 @@ def main(argv: Optional[List[str]] = None) -> int:
         "--tolerance", type=float, default=0.25,
         help="allowed normalized wall-clock regression (default 0.25)",
     )
+    parser.add_argument(
+        "--strict-invariants", action="store_true",
+        help="run the simulations with the engine's strict-invariant "
+             "oracles enabled (raise mode); determinism fields must still "
+             "match a baseline recorded without them",
+    )
     args = parser.parse_args(argv)
 
     from repro.experiments.common import DEFAULT_SEED
 
     seed = args.seed if args.seed is not None else DEFAULT_SEED
     policies = [p.strip() for p in args.policies.split(",") if p.strip()]
-    report = run_macro(args.scale, seed, policies)
+    report = run_macro(
+        args.scale, seed, policies, strict_invariants=args.strict_invariants
+    )
 
     with open(args.out, "w") as f:
         json.dump(report, f, indent=1, sort_keys=True)

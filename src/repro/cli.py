@@ -82,6 +82,20 @@ def make_policy(name: str, seed: int = DEFAULT_SEED, solver: str = "hill_climb")
     raise SystemExit(f"unknown policy {name!r}; choose from {', '.join(POLICIES)}")
 
 
+def _experiment_ids(value: str) -> str:
+    """argparse type: 'all', one experiment id, or a comma-separated list."""
+    if value == "all":
+        return value
+    known = set(registry.list_ids())
+    unknown = [tok for tok in value.split(",") if tok and tok not in known]
+    if unknown or not value:
+        raise argparse.ArgumentTypeError(
+            f"unknown experiment id(s) {', '.join(unknown) or value!r} "
+            f"(choose from {', '.join(registry.list_ids())}, or 'all')"
+        )
+    return value
+
+
 def build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
         prog="repro-sim",
@@ -105,6 +119,14 @@ def build_parser() -> argparse.ArgumentParser:
     sim.add_argument("--hosts", type=int, default=100)
     sim.add_argument("--jobs-csv", type=str, default=None,
                      help="write per-job records (wait, stretch, S) to CSV")
+    sim.add_argument("--strict-invariants", action="store_true",
+                     help="run the incremental-state oracles on a cadence "
+                          "during the simulation (guard rail against silent "
+                          "aggregate drift; rows stay bit-identical)")
+    sim.add_argument("--invariant-mode", choices=("raise", "resync"),
+                     default="raise",
+                     help="on detected drift: abort with StateError (raise) "
+                          "or rebuild the aggregate and count it (resync)")
 
     exp = sub.add_parser(
         "experiment",
@@ -117,7 +139,9 @@ def build_parser() -> argparse.ArgumentParser:
             "(experiment, scale, seed) invocations from disk."
         ),
     )
-    exp.add_argument("exp_id", choices=registry.list_ids() + ["all"])
+    exp.add_argument("exp_id", type=_experiment_ids, metavar="exp_id",
+                     help="an experiment id, a comma-separated list of ids, "
+                          f"or 'all' (known: {', '.join(registry.list_ids())})")
     exp.add_argument("--scale", type=float, default=1.0)
     exp.add_argument("--seed", type=int, default=DEFAULT_SEED)
     exp.add_argument("--parallel", action="store_true",
@@ -127,7 +151,22 @@ def build_parser() -> argparse.ArgumentParser:
                      help="worker processes for --parallel (default: all cores)")
     exp.add_argument("--cache-dir", type=str, default=None,
                      help="cache experiment outputs here, keyed by "
-                          "(experiment, scale, seed, code version)")
+                          "(experiment, scale, seed, code version); entries "
+                          "are written as each experiment finishes")
+    exp.add_argument("--retries", type=int, default=0,
+                     help="extra attempts per experiment after a failure "
+                          "(exponential backoff with deterministic jitter)")
+    exp.add_argument("--task-timeout", type=float, default=None, metavar="S",
+                     help="per-experiment wall-clock budget in seconds; a "
+                          "hung worker is reaped and the task retried or "
+                          "failed with TaskTimeoutError (parallel mode only)")
+    exp.add_argument("--resume", action="store_true",
+                     help="skip experiments a previous journal run completed "
+                          "(requires --cache-dir; see docs/robustness.md)")
+    exp.add_argument("--partial", action="store_true",
+                     help="on failures, print completed outputs plus a "
+                          "failure report (exit 1) instead of aborting the "
+                          "whole sweep")
 
     tr = sub.add_parser("trace", help="generate the synthetic Grid5000 week")
     tr.add_argument("--scale", type=float, default=1.0)
@@ -161,7 +200,11 @@ def main(argv: Optional[List[str]] = None) -> int:
             pm_config=PowerManagerConfig(
                 lambda_min=args.lambda_min, lambda_max=args.lambda_max
             ),
-            config=EngineConfig(seed=args.seed),
+            config=EngineConfig(
+                seed=args.seed,
+                strict_invariants=args.strict_invariants,
+                invariant_mode=args.invariant_mode,
+            ),
         )
         result = engine.run()
         print(results_table([result]))
@@ -187,17 +230,40 @@ def main(argv: Optional[List[str]] = None) -> int:
         return 0
 
     if args.command == "experiment":
+        from repro.experiments.resilience import ExecutionPolicy
         from repro.experiments.runner import run_experiments
 
-        ids = registry.list_ids() if args.exp_id == "all" else [args.exp_id]
-        for output in run_experiments(
+        ids = (
+            registry.list_ids()
+            if args.exp_id == "all"
+            else args.exp_id.split(",")
+        )
+        execution = ExecutionPolicy(
+            retries=args.retries,
+            task_timeout_s=args.task_timeout,
+            partial=args.partial,
+        )
+        result = run_experiments(
             ids,
             scale=args.scale,
             seed=args.seed,
             parallel=args.parallel,
             jobs=args.jobs,
             cache_dir=args.cache_dir,
-        ):
+            execution=execution,
+            resume=args.resume,
+        )
+        if args.partial:
+            for output in result.ordered_outputs():
+                if output is not None:
+                    print(output)
+                    print()
+            if result.failures:
+                print("-- failures --", file=sys.stderr)
+                print(result.failure_summary(), file=sys.stderr)
+                return 1
+            return 0
+        for output in result:
             print(output)
             print()
         return 0

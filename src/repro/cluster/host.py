@@ -306,6 +306,19 @@ class Host:
         self._rsv_sums_valid = True
         self._n_exclusive = 0
 
+    def resync_aggregates(self) -> None:
+        """Rebuild every incremental aggregate from the ground truth.
+
+        The recovery half of :meth:`verify_aggregates`: the engine's
+        strict-invariant ``resync`` mode calls this after a detected
+        drift so the run can continue on corrected totals instead of
+        propagating a corrupted sum into the published rows.
+        """
+        self._n_exclusive = sum(1 for vm in self.vms.values() if vm.exclusive)
+        self._vm_sums_valid = False
+        self._rsv_sums_valid = False
+        self._validate_sums()
+
     def verify_aggregates(self) -> bool:
         """Debug oracle: recompute every aggregate from scratch and compare.
 

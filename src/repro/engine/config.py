@@ -54,6 +54,24 @@ class EngineConfig:
         off.
     trace_capacity:
         Maximum retained trace records (FIFO-dropped beyond).
+    strict_invariants:
+        Run the incremental-state oracles
+        (:meth:`~repro.cluster.host.Host.verify_aggregates` on every host
+        and :meth:`~repro.engine.metrics.MetricsCollector.verify_against_scan`)
+        on a simulated-time cadence during the run, so silent drift in the
+        O(dirty) incremental state is caught long before it corrupts
+        published rows.  Checks piggyback on regular engine events (no
+        extra simulator events are scheduled), so enabling them leaves
+        every result row — including ``sim_events`` — bit-identical.
+        The ``REPRO_STRICT_INVARIANTS`` environment variable (``raise`` or
+        ``resync``) force-enables this for a whole test run.
+    invariant_mode:
+        Response to a detected drift: ``"raise"`` aborts the run with
+        :class:`~repro.errors.StateError`; ``"resync"`` rebuilds the
+        drifted aggregate from scratch, emits a RuntimeWarning, and
+        counts the event in ``SimulationResult.invariant_resyncs``.
+    invariant_interval_s:
+        Minimum simulated time between two invariant sweeps.
     """
 
     seed: int = 20071001
@@ -75,6 +93,9 @@ class EngineConfig:
     record_power_series: bool = False
     trace_events: bool = False
     trace_capacity: int = 100_000
+    strict_invariants: bool = False
+    invariant_mode: str = "raise"
+    invariant_interval_s: float = 3600.0
 
     def __post_init__(self) -> None:
         if self.initial_on < 0:
@@ -93,3 +114,7 @@ class EngineConfig:
             raise ConfigurationError("invalid checkpoint cost parameters")
         if self.trace_capacity < 1:
             raise ConfigurationError("trace capacity must be >= 1")
+        if self.invariant_mode not in ("raise", "resync"):
+            raise ConfigurationError("invariant mode must be 'raise' or 'resync'")
+        if self.invariant_interval_s <= 0:
+            raise ConfigurationError("invariant interval must be positive")

@@ -47,7 +47,10 @@ snapshots and the end-of-run result builder may touch everything — see
 from __future__ import annotations
 
 import math
+import os
 import time as _time
+import warnings
+from dataclasses import replace as _replace
 from typing import Dict, List, Optional, Sequence, Set
 
 from repro.cluster.checkpoint import CheckpointStore
@@ -62,7 +65,7 @@ from repro.engine.config import EngineConfig
 from repro.engine.metrics import MetricsCollector
 from repro.engine.results import SimulationResult
 from repro.engine.tracing import EventTrace, TraceEventKind
-from repro.errors import ConfigurationError
+from repro.errors import ConfigurationError, StateError
 from repro.scheduling.base import SchedulingContext, SchedulingPolicy
 from repro.scheduling.power_manager import PowerManager, PowerManagerConfig
 from repro.sla.monitor import SlaMonitor
@@ -111,6 +114,19 @@ class DatacenterSimulation(ActuatorsMixin):
         self.policy = policy
         self.trace = trace
         self.config = config or EngineConfig()
+        # CI guard rail: REPRO_STRICT_INVARIANTS=raise|resync force-enables
+        # the strict-invariant oracles for a whole test run without every
+        # call site having to thread a config through.
+        env_mode = os.environ.get("REPRO_STRICT_INVARIANTS")
+        if env_mode and not self.config.strict_invariants:
+            self.config = _replace(
+                self.config,
+                strict_invariants=True,
+                invariant_mode=(
+                    env_mode if env_mode in ("raise", "resync")
+                    else self.config.invariant_mode
+                ),
+            )
         self.power_manager = power_manager or PowerManager(
             pm_config or PowerManagerConfig()
         )
@@ -169,6 +185,14 @@ class DatacenterSimulation(ActuatorsMixin):
         self._started = False
         self._horizon = 0.0
 
+        #: Strict-invariant guard rails: checked opportunistically inside
+        #: :meth:`_refresh` (no extra simulator events — ``sim_events``
+        #: and every row stay bit-identical with the mode enabled).
+        self._invariants_enabled = self.config.strict_invariants
+        self._next_invariant_check = 0.0
+        self._invariant_checks = 0
+        self._invariant_resyncs = 0
+
     # ------------------------------------------------------------------ run
 
     def start(self) -> float:
@@ -218,6 +242,9 @@ class DatacenterSimulation(ActuatorsMixin):
         self.sim.run(until=horizon)
 
         self._touch_all()
+        if self._invariants_enabled:
+            # Final sweep: the published row must come from verified state.
+            self._check_invariants(self.sim.now)
         self.metrics.close(self.sim.now)
         self._result = self._build_result(wall_start)
         return self._result
@@ -630,6 +657,54 @@ class DatacenterSimulation(ActuatorsMixin):
                     self._cancel_completion(vm)
         self._dirty.clear()
         metrics.refresh(now)
+        if self._invariants_enabled and now >= self._next_invariant_check:
+            self._check_invariants(now)
+
+    def _check_invariants(self, now: float) -> None:
+        """Strict-invariant sweep: run the incremental-state oracles.
+
+        Verifies every host's occupancy aggregates and the metrics
+        collector's delta-maintained totals against from-scratch
+        recomputation.  ``raise`` mode propagates
+        :class:`~repro.errors.StateError`; ``resync`` mode rebuilds the
+        drifted state, warns, and counts the event (surfaced as
+        ``SimulationResult.invariant_resyncs``).  Called from inside
+        regular events, so enabling the mode schedules nothing and every
+        row stays bit-identical.
+        """
+        self._next_invariant_check = now + self.config.invariant_interval_s
+        self._invariant_checks += 1
+        resync = self.config.invariant_mode == "resync"
+        for host in self.hosts:
+            try:
+                host.verify_aggregates()
+            except StateError as exc:
+                if not resync:
+                    raise
+                warnings.warn(
+                    f"t={now:.0f}s: host aggregate drift resynced: {exc}",
+                    RuntimeWarning,
+                    stacklevel=2,
+                )
+                host.resync_aggregates()
+                self.metrics.host_changed(host)
+                self.metrics.counters.incr("invariant_resyncs")
+                self._invariant_resyncs += 1
+        try:
+            self.metrics.verify_against_scan()
+        except AssertionError as exc:
+            if not resync:
+                raise StateError(
+                    f"metrics aggregates drifted from full scan: {exc}"
+                ) from exc
+            warnings.warn(
+                f"t={now:.0f}s: metrics aggregate drift resynced: {exc}",
+                RuntimeWarning,
+                stacklevel=2,
+            )
+            self.metrics.resync_from_scan()
+            self.metrics.counters.incr("invariant_resyncs")
+            self._invariant_resyncs += 1
 
     # --------------------------------------------------------------- result
 
@@ -680,6 +755,8 @@ class DatacenterSimulation(ActuatorsMixin):
             sim_events=self.sim.events_processed,
             horizon_s=self.sim.now,
             wall_clock_s=_time.perf_counter() - wall_start,
+            invariant_checks=self._invariant_checks,
+            invariant_resyncs=self._invariant_resyncs,
         )
 
 

@@ -138,6 +138,24 @@ class MetricsCollector:
         assert reserved == self._reserved, (reserved, self._reserved)
         return True
 
+    def resync_from_scan(self) -> None:
+        """Rebuild the running totals and per-host contributions.
+
+        The recovery half of :meth:`verify_against_scan`: strict-invariant
+        ``resync`` mode calls this after a detected drift, replacing the
+        delta-maintained state with a fresh full scan so subsequent
+        samples integrate correct values.
+        """
+        self._online = 0
+        self._working = 0
+        self._reserved = 0.0
+        for h in self._hosts:
+            c = self._contribution(h)
+            self._contrib[h.host_id] = c
+            self._online += c[0]
+            self._working += c[1]
+            self._reserved += c[2]
+
     def refresh_power(self, now: float, host: Host) -> None:
         """Update one host's power draw and the datacenter aggregate."""
         watts = host.power_watts()

@@ -50,6 +50,12 @@ class SimulationResult:
     sim_events: int = 0
     horizon_s: float = 0.0
     wall_clock_s: float = 0.0
+    #: Strict-invariant guard rails (EngineConfig.strict_invariants):
+    #: oracle sweeps performed, and drifted aggregates rebuilt in
+    #: ``resync`` mode.  Any nonzero resync count is a warning sign that
+    #: the incremental O(dirty) state diverged during the run.
+    invariant_checks: int = 0
+    invariant_resyncs: int = 0
     extra: Dict[str, float] = field(default_factory=dict)
 
     @property

@@ -16,6 +16,9 @@ __all__ = [
     "CapacityError",
     "StateError",
     "TraceFormatError",
+    "ExperimentError",
+    "WorkerCrashError",
+    "TaskTimeoutError",
 ]
 
 
@@ -45,3 +48,15 @@ class StateError(ReproError):
 
 class TraceFormatError(ReproError):
     """A workload trace file could not be parsed."""
+
+
+class ExperimentError(ReproError):
+    """An experiment task failed (after exhausting any retry budget)."""
+
+
+class WorkerCrashError(ExperimentError):
+    """A sweep worker process died (e.g. hard crash / broken process pool)."""
+
+
+class TaskTimeoutError(ExperimentError):
+    """An experiment task exceeded its per-task wall-clock timeout."""

@@ -74,16 +74,27 @@ def all_experiments(
     parallel: bool = False,
     jobs: int | None = None,
     cache_dir: str | None = None,
+    execution=None,
+    resume: bool = False,
 ) -> List[ExperimentOutput]:
     """Run the whole evaluation (pass ``scale < 1`` for a quick pass).
 
     ``parallel=True`` fans the experiments out over a process pool (see
     :mod:`repro.experiments.runner`); rows are identical to a serial run.
     ``cache_dir`` re-serves identical invocations from an on-disk cache.
+    ``execution`` (an :class:`~repro.experiments.resilience.ExecutionPolicy`)
+    adds retries/timeouts/partial-results; ``resume`` skips experiments a
+    previous journal run completed.
     """
     # Imported lazily: the runner imports this registry back.
     from repro.experiments.runner import run_experiments
 
     return run_experiments(
-        scale=scale, seed=seed, parallel=parallel, jobs=jobs, cache_dir=cache_dir
+        scale=scale,
+        seed=seed,
+        parallel=parallel,
+        jobs=jobs,
+        cache_dir=cache_dir,
+        execution=execution,
+        resume=resume,
     )

@@ -1,0 +1,146 @@
+"""Engine strict-invariant guard rails.
+
+PR 2 made the engine's steady state O(dirty hosts) by maintaining host
+occupancy and node metrics incrementally, with from-scratch oracles
+(`Host.verify_aggregates`, `MetricsCollector.verify_against_scan`) to
+prove the deltas exact.  Strict-invariant mode runs those oracles on a
+simulated-time cadence *during* production runs, so silent drift is
+caught (raise mode) or repaired and counted (resync mode) instead of
+corrupting published rows.  The mode must itself be semantics-free:
+enabling it may not change a single result field.
+"""
+
+import os
+
+import pytest
+
+from repro.cluster.spec import ClusterSpec
+from repro.engine.config import EngineConfig
+from repro.engine.datacenter import DatacenterSimulation
+from repro.errors import ConfigurationError, StateError
+from repro.scheduling.baselines import BackfillingPolicy
+from repro.workload.synthetic import Grid5000WeekGenerator, SyntheticConfig
+
+#: Fields that must be unaffected by enabling the guard rails.
+ROW_FIELDS = (
+    "energy_kwh", "cpu_hours", "migrations", "n_completed", "n_failed",
+    "satisfaction", "delay_pct", "avg_working", "avg_online", "sim_events",
+    "horizon_s",
+)
+
+
+def _engine(config: EngineConfig) -> DatacenterSimulation:
+    trace = Grid5000WeekGenerator(
+        SyntheticConfig(horizon_s=6 * 3600.0), seed=7
+    ).generate()
+    return DatacenterSimulation(
+        ClusterSpec.homogeneous(8), BackfillingPolicy(), trace.fresh(),
+        config=config,
+    )
+
+
+def _desync_host(engine: DatacenterSimulation):
+    """Corrupt one host's cached CPU sum behind the oracle's back."""
+    host = next(h for h in engine.hosts if h._vm_sums_valid)
+    host._vm_cpu_sum += 7.0
+    return host
+
+
+class TestConfig:
+    def test_invalid_mode_rejected(self):
+        with pytest.raises(ConfigurationError):
+            EngineConfig(invariant_mode="panic")
+        with pytest.raises(ConfigurationError):
+            EngineConfig(invariant_interval_s=0.0)
+
+    def test_env_variable_force_enables(self, monkeypatch):
+        monkeypatch.setenv("REPRO_STRICT_INVARIANTS", "resync")
+        engine = _engine(EngineConfig(seed=3))
+        assert engine.config.strict_invariants
+        assert engine.config.invariant_mode == "resync"
+
+    def test_env_variable_does_not_override_explicit_mode(self, monkeypatch):
+        monkeypatch.setenv("REPRO_STRICT_INVARIANTS", "raise")
+        engine = _engine(
+            EngineConfig(seed=3, strict_invariants=True, invariant_mode="resync")
+        )
+        assert engine.config.invariant_mode == "resync"
+
+
+class TestSemanticsFree:
+    def test_rows_bit_identical_with_checks_enabled(self):
+        baseline = _engine(EngineConfig(seed=3)).run()
+        strict = _engine(
+            EngineConfig(
+                seed=3, strict_invariants=True, invariant_interval_s=600.0
+            )
+        ).run()
+        for name in ROW_FIELDS:
+            assert getattr(strict, name) == getattr(baseline, name), name
+        assert baseline.invariant_checks == 0
+        assert strict.invariant_checks > 0
+        assert strict.invariant_resyncs == 0
+
+
+class TestDriftDetection:
+    def test_raise_mode_catches_desynced_host(self):
+        engine = _engine(
+            EngineConfig(
+                seed=3, strict_invariants=True, invariant_interval_s=600.0
+            )
+        )
+        engine.start()
+        engine.sim.run(until=1800.0)
+        _desync_host(engine)
+        engine._next_invariant_check = 0.0
+        with pytest.raises(StateError, match="aggregate"):
+            engine.run()
+
+    def test_resync_mode_repairs_and_counts(self):
+        engine = _engine(
+            EngineConfig(
+                seed=3, strict_invariants=True, invariant_mode="resync",
+                invariant_interval_s=600.0,
+            )
+        )
+        engine.start()
+        engine.sim.run(until=1800.0)
+        host = _desync_host(engine)
+        engine._next_invariant_check = 0.0
+        with pytest.warns(RuntimeWarning, match="drift resynced"):
+            result = engine.run()
+        # The counter is surfaced in the run's result row...
+        assert result.invariant_resyncs >= 1
+        assert result.invariant_checks >= 1
+        assert engine.metrics.counters["invariant_resyncs"] >= 1
+        # ...and the aggregate really was rebuilt from ground truth.
+        assert host.verify_aggregates()
+
+    def test_resync_mode_repairs_metrics_drift(self):
+        engine = _engine(
+            EngineConfig(
+                seed=3, strict_invariants=True, invariant_mode="resync",
+                invariant_interval_s=600.0,
+            )
+        )
+        engine.start()
+        engine.sim.run(until=1800.0)
+        engine.metrics._reserved += 13.0
+        engine._next_invariant_check = 0.0
+        with pytest.warns(RuntimeWarning, match="metrics aggregate drift"):
+            result = engine.run()
+        assert result.invariant_resyncs >= 1
+        assert engine.metrics.verify_against_scan()
+
+    def test_raise_mode_catches_metrics_drift(self):
+        engine = _engine(
+            EngineConfig(
+                seed=3, strict_invariants=True, invariant_interval_s=600.0
+            )
+        )
+        engine.start()
+        engine.sim.run(until=1800.0)
+        engine.metrics._working += 1
+        engine._next_invariant_check = 0.0
+        with pytest.raises(StateError, match="metrics"):
+            engine.run()
