@@ -53,8 +53,18 @@ POLICIES = (
 SOLVERS = ("hill_climb", "sa", "tabu")
 
 
-def make_policy(name: str, seed: int = DEFAULT_SEED, solver: str = "hill_climb"):
-    """Instantiate a policy by CLI name."""
+def make_policy(
+    name: str,
+    seed: int = DEFAULT_SEED,
+    solver: str = "hill_climb",
+    observed_reliability: bool = False,
+):
+    """Instantiate a policy by CLI name.
+
+    ``observed_reliability`` upgrades the score presets to learned P_fault
+    reliabilities (forcing the fault penalty on); the engine wires the
+    tracker through when ``EngineConfig.observed_reliability`` is also set.
+    """
     name = name.lower()
     simple = {
         "rr": RoundRobinPolicy,
@@ -78,7 +88,14 @@ def make_policy(name: str, seed: int = DEFAULT_SEED, solver: str = "hill_climb")
         "sb-full": ScoreConfig.full,
     }
     if name in score:
-        return ScoreBasedPolicy(score[name](), solver=solver, solver_seed=seed)
+        config = score[name]()
+        if observed_reliability:
+            from dataclasses import replace
+
+            config = replace(
+                config, enable_fault=True, use_observed_reliability=True
+            )
+        return ScoreBasedPolicy(config, solver=solver, solver_seed=seed)
     raise SystemExit(f"unknown policy {name!r}; choose from {', '.join(POLICIES)}")
 
 
@@ -127,6 +144,23 @@ def build_parser() -> argparse.ArgumentParser:
                      default="raise",
                      help="on detected drift: abort with StateError (raise) "
                           "or rebuild the aggregate and count it (resync)")
+    sim.add_argument("--chaos", type=float, nargs="?", const=0.05, default=None,
+                     metavar="RATE",
+                     help="inject operation faults (creation failures, "
+                          "migration aborts, boot failures) at this uniform "
+                          "base rate (flag alone = 0.05); enables the "
+                          "self-healing supervisor")
+    sim.add_argument("--chaos-seed", type=int, default=None,
+                     help="seed of the fault streams (default: --seed), so "
+                          "the same workload can be replayed under a "
+                          "different fault realization")
+    sim.add_argument("--observed-reliability", action="store_true",
+                     help="score-based policies learn per-host reliability "
+                          "from operation outcomes (EWMA) instead of the "
+                          "static spec F_rel")
+    sim.add_argument("--trace-out", type=str, default=None, metavar="FILE",
+                     help="write the structured event trace as JSON lines "
+                          "(enables event tracing)")
 
     exp = sub.add_parser(
         "experiment",
@@ -190,12 +224,18 @@ def main(argv: Optional[List[str]] = None) -> int:
     args = build_parser().parse_args(argv)
 
     if args.command == "simulate":
+        from repro.cluster.faults import FaultConfig
         from repro.engine.datacenter import DatacenterSimulation
 
         trace = paper_trace(scale=args.scale, seed=args.seed)
         engine = DatacenterSimulation(
             cluster=paper_cluster(args.hosts),
-            policy=make_policy(args.policy, seed=args.seed, solver=args.solver),
+            policy=make_policy(
+                args.policy,
+                seed=args.seed,
+                solver=args.solver,
+                observed_reliability=args.observed_reliability,
+            ),
             trace=trace.fresh(),
             pm_config=PowerManagerConfig(
                 lambda_min=args.lambda_min, lambda_max=args.lambda_max
@@ -204,15 +244,44 @@ def main(argv: Optional[List[str]] = None) -> int:
                 seed=args.seed,
                 strict_invariants=args.strict_invariants,
                 invariant_mode=args.invariant_mode,
+                faults=(
+                    FaultConfig.uniform(args.chaos)
+                    if args.chaos is not None
+                    else None
+                ),
+                chaos_seed=args.chaos_seed,
+                observed_reliability=args.observed_reliability,
+                trace_events=bool(args.trace_out),
             ),
         )
-        result = engine.run()
+        try:
+            result = engine.run()
+        except Exception:
+            # Dump whatever trace we have: on a strict-invariant abort
+            # (or any mid-run crash) the event log is the post-mortem.
+            if args.trace_out and engine.trace_log is not None:
+                n = engine.trace_log.write_jsonl(args.trace_out)
+                print(f"{n} trace records written to {args.trace_out} "
+                      f"(run aborted)", file=sys.stderr)
+            raise
         print(results_table([result]))
         print(
             f"jobs {result.n_completed}/{result.n_jobs} completed, "
             f"{result.sim_events} events, "
             f"{result.wall_clock_s:.1f} s wall clock"
         )
+        if args.chaos is not None:
+            print(
+                f"chaos: {result.failed_creations} failed creations, "
+                f"{result.aborted_migrations} aborted migrations, "
+                f"{result.boot_failures} boot failures, "
+                f"{result.quarantines} quarantines, "
+                f"{result.lost_cpu_s:.1f} CPU-s lost, "
+                f"mean recovery {result.mean_recovery_s:.0f} s"
+            )
+        if args.trace_out and engine.trace_log is not None:
+            n = engine.trace_log.write_jsonl(args.trace_out)
+            print(f"{n} trace records written to {args.trace_out}")
         if args.jobs_csv:
             from repro.engine.jobstats import job_records, summarize_jobs, write_csv
 

@@ -15,6 +15,9 @@ This package models the virtualized datacenter the paper simulates:
 * :mod:`repro.cluster.energy` — exact event-driven energy integration;
 * :mod:`repro.cluster.failures` — per-host availability processes driven
   by the paper's reliability factor F_rel;
+* :mod:`repro.cluster.faults` — operation-level fault injection (creation
+  failures, migration aborts, boot failures) and observed-reliability
+  tracking;
 * :mod:`repro.cluster.checkpoint` — checkpoint store used for recovery.
 """
 
@@ -32,6 +35,7 @@ from repro.cluster.power import (
 from repro.cluster.dvfs import DvfsOperatingPoint, DvfsPowerModel, PAPER_CALIBRATED_DVFS
 from repro.cluster.energy import EnergyAccount
 from repro.cluster.failures import FailureProcess
+from repro.cluster.faults import FaultConfig, OperationFaultModel, ObservedReliability
 from repro.cluster.checkpoint import CheckpointStore, Checkpoint
 
 __all__ = [
@@ -59,6 +63,9 @@ __all__ = [
     "PAPER_CALIBRATED_DVFS",
     "EnergyAccount",
     "FailureProcess",
+    "FaultConfig",
+    "OperationFaultModel",
+    "ObservedReliability",
     "CheckpointStore",
     "Checkpoint",
 ]

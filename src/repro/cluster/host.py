@@ -91,6 +91,13 @@ class Host:
     def __init__(self, spec: HostSpec, *, initial_state: HostState = HostState.OFF) -> None:
         self.spec = spec
         self.state = initial_state
+        #: Supervisor quarantine (see ``docs/robustness.md``): a flapping
+        #: host is temporarily excluded from placement candidates and the
+        #: power manager's boot preference.  Residents keep running (and
+        #: the score matrix drains them away); the flag never changes the
+        #: lifecycle state machine.
+        self.quarantined = False
+        self.quarantined_until = 0.0
         #: Resident VMs: running, creating, or migrating out.
         self.vms: Dict[int, Vm] = {}
         #: Reservations for VMs migrating in (vm_id -> (cpu, mem)).

@@ -5,16 +5,28 @@ and machine power changes.  :class:`ActuatorsMixin` implements them
 against the engine state; every action is **validated** before being
 applied — policies are untrusted decision functions, and an inapplicable
 action (e.g. two Random placements whose memory jointly exceeds a host)
-is counted and dropped, leaving the VM queued for the next round.
+is counted and dropped, leaving the VM queued for the next round.  Each
+rejection carries a structured :class:`RejectReason` (trace detail and a
+per-reason counter), so chaos-induced rejects are distinguishable from
+policy bugs.
 
 Durations are stochastic where the paper measured variability: creation
 times are N(µ = C_c(class), σ = 2.5) as observed on the authors' testbed
 (§IV); migrations get the same treatment.  Both are truncated at one
 second — an operation cannot take negative time.
+
+When the engine carries an :class:`~repro.cluster.faults.OperationFaultModel`
+(``EngineConfig.faults``), each actuator samples a fault outcome *at
+operation start* and schedules the corresponding failure handler instead
+of the unconditional completion: creations can fail after burning their
+creation time, migrations can abort mid-flight, boots can fail or run
+slow.  With chaos off the fault model is ``None`` and no chaos stream is
+ever drawn from — the event sequence is bit-identical to pre-chaos runs.
 """
 
 from __future__ import annotations
 
+import enum
 from typing import Optional
 
 from repro.cluster.host import Host, HostState, Operation, OperationKind
@@ -23,7 +35,25 @@ from repro.engine.tracing import TraceEventKind
 from repro.scheduling.actions import Action, Migrate, Place, TurnOff, TurnOn
 from repro.workload.job import JobState
 
-__all__ = ["ActuatorsMixin"]
+__all__ = ["ActuatorsMixin", "RejectReason"]
+
+
+class RejectReason(enum.Enum):
+    """Why an action was dropped by :meth:`ActuatorsMixin.apply_action`."""
+
+    UNKNOWN_VM = "unknown_vm"
+    UNKNOWN_HOST = "unknown_host"
+    VM_NOT_QUEUED = "vm_not_queued"
+    VM_NOT_RUNNING = "vm_not_running"
+    HOST_NOT_ON = "host_not_on"
+    HOST_QUARANTINED = "host_quarantined"
+    REQUIREMENTS = "requirements"
+    EXCLUSIVE_CONFLICT = "exclusive_conflict"
+    NO_CAPACITY = "no_capacity"
+    SAME_HOST = "same_host"
+    HOST_NOT_OFF = "host_not_off"
+    HOST_NOT_IDLE = "host_not_idle"
+    UNSUPPORTED_ACTION = "unsupported_action"
 
 
 class ActuatorsMixin:
@@ -31,50 +61,65 @@ class ActuatorsMixin:
 
     Mixed into :class:`~repro.engine.datacenter.DatacenterSimulation`;
     relies on its attributes (``sim``, ``hosts_by_id``, ``vms``,
-    ``metrics``, ``_dirty``, rng streams and event handlers).
+    ``metrics``, ``_dirty``, ``fault_model``, rng streams and event
+    handlers).
     """
 
     # ------------------------------------------------------------- dispatch
 
     def apply_action(self, action: Action) -> bool:
-        """Validate and apply one action; returns True when applied."""
+        """Validate and apply one action; returns True when applied.
+
+        A rejection increments both the aggregate ``rejected_actions``
+        counter and a per-reason ``rejected.<reason>`` counter, and the
+        ``ACTION_REJECTED`` trace record leads with the reason.
+        """
         if isinstance(action, Place):
-            ok = self._act_place(action)
+            reason = self._act_place(action)
         elif isinstance(action, Migrate):
-            ok = self._act_migrate(action)
+            reason = self._act_migrate(action)
         elif isinstance(action, TurnOn):
-            ok = self._act_turn_on(action)
+            reason = self._act_turn_on(action)
         elif isinstance(action, TurnOff):
-            ok = self._act_turn_off(action)
+            reason = self._act_turn_off(action)
         else:  # pragma: no cover - defensive
-            ok = False
-        if not ok:
+            reason = RejectReason.UNSUPPORTED_ACTION
+        if reason is not None:
             self.metrics.counters.incr("rejected_actions")
-            self.emit(TraceEventKind.ACTION_REJECTED, detail=repr(action))
-        return ok
+            self.metrics.counters.incr(f"rejected.{reason.value}")
+            self.emit(
+                TraceEventKind.ACTION_REJECTED,
+                detail=f"{reason.value}: {action!r}",
+            )
+            return False
+        return True
 
     # ------------------------------------------------------------ placement
 
-    def _act_place(self, action: Place) -> bool:
+    def _act_place(self, action: Place) -> Optional[RejectReason]:
         vm: Optional[Vm] = self.vms.get(action.vm_id)
+        if vm is None:
+            return RejectReason.UNKNOWN_VM
         host: Optional[Host] = self.hosts_by_id.get(action.host_id)
-        if vm is None or host is None:
-            return False
+        if host is None:
+            return RejectReason.UNKNOWN_HOST
         if vm.state is not VmState.QUEUED:
-            return False
+            return RejectReason.VM_NOT_QUEUED
         if not host.is_on:
-            return False
+            return RejectReason.HOST_NOT_ON
+        if host.quarantined:
+            return RejectReason.HOST_QUARANTINED
         if not host.meets_requirements(vm.job):
-            return False
+            return RejectReason.REQUIREMENTS
         # Memory is a hard constraint for every policy; CPU may be
         # overcommitted (the credit scheduler absorbs it).  Whole-node
         # (exclusive) reservations admit no co-tenants in either direction.
         if vm.exclusive and host.n_vms > 0:
-            return False
+            return RejectReason.EXCLUSIVE_CONFLICT
         if host.has_exclusive():
-            return False
+            return RejectReason.EXCLUSIVE_CONFLICT
         if host.mem_reserved(vm.mem_req) > host.spec.mem_mb + 1e-9:
-            return False
+            return RejectReason.NO_CAPACITY
 
         duration = self._sample_duration(
             host.spec.creation_s, self.config.creation_sigma_s, "ops.creation"
@@ -102,30 +147,45 @@ class ActuatorsMixin:
             detail=f"creation {duration:.0f}s",
         )
         self._dirty.add(host.host_id)
-        self.sim.schedule(
-            duration,
-            lambda v=vm, h=host: self._on_creation_done(v, h),
-            label=f"create:{vm.vm_id}",
-        )
-        return True
+        if self.fault_model is not None and self.fault_model.creation_fails(
+            host.host_id
+        ):
+            # The creation time is burned either way; only the outcome
+            # differs.  The supervisor re-queues the VM with backoff.
+            self.sim.schedule(
+                duration,
+                lambda v=vm, h=host: self._on_creation_failed(v, h),
+                label=f"create-fail:{vm.vm_id}",
+            )
+        else:
+            self.sim.schedule(
+                duration,
+                lambda v=vm, h=host: self._on_creation_done(v, h),
+                label=f"create:{vm.vm_id}",
+            )
+        return None
 
     # ------------------------------------------------------------ migration
 
-    def _act_migrate(self, action: Migrate) -> bool:
+    def _act_migrate(self, action: Migrate) -> Optional[RejectReason]:
         vm: Optional[Vm] = self.vms.get(action.vm_id)
+        if vm is None:
+            return RejectReason.UNKNOWN_VM
         dst: Optional[Host] = self.hosts_by_id.get(action.dst_host_id)
-        if vm is None or dst is None:
-            return False
+        if dst is None:
+            return RejectReason.UNKNOWN_HOST
         if vm.state is not VmState.RUNNING or vm.host_id is None:
-            return False
+            return RejectReason.VM_NOT_RUNNING
         if vm.host_id == dst.host_id:
-            return False
+            return RejectReason.SAME_HOST
         if not dst.is_on:
-            return False
+            return RejectReason.HOST_NOT_ON
+        if dst.quarantined:
+            return RejectReason.HOST_QUARANTINED
         if not dst.meets_requirements(vm.job):
-            return False
+            return RejectReason.REQUIREMENTS
         if not dst.fits(vm):
-            return False
+            return RejectReason.NO_CAPACITY
         src = self.hosts_by_id[vm.host_id]
 
         duration = self._sample_duration(
@@ -161,39 +221,70 @@ class ActuatorsMixin:
         )
         self._dirty.add(src.host_id)
         self._dirty.add(dst.host_id)
-        self.sim.schedule(
-            duration,
-            lambda v=vm, s=src, d=dst: self._on_migration_done(v, s, d),
-            label=f"migrate:{vm.vm_id}",
-        )
-        return True
+        if self.fault_model is not None and self.fault_model.migration_aborts(
+            dst.host_id
+        ):
+            # Abort mid-flight: the transfer runs for a fraction of its
+            # duration, then the VM stays on its source.
+            frac = self.fault_model.abort_fraction(dst.host_id)
+            self.sim.schedule(
+                duration * frac,
+                lambda v=vm, s=src, d=dst: self._on_migration_aborted(v, s, d),
+                label=f"migrate-abort:{vm.vm_id}",
+            )
+        else:
+            self.sim.schedule(
+                duration,
+                lambda v=vm, s=src, d=dst: self._on_migration_done(v, s, d),
+                label=f"migrate:{vm.vm_id}",
+            )
+        return None
 
     # ------------------------------------------------------------- lifecycle
 
-    def _act_turn_on(self, action: TurnOn) -> bool:
+    def _act_turn_on(self, action: TurnOn) -> Optional[RejectReason]:
         host: Optional[Host] = self.hosts_by_id.get(action.host_id)
-        if host is None or host.state is not HostState.OFF:
-            return False
+        if host is None:
+            return RejectReason.UNKNOWN_HOST
+        if host.state is not HostState.OFF:
+            return RejectReason.HOST_NOT_OFF
+        if host.quarantined:
+            return RejectReason.HOST_QUARANTINED
+        duration = host.spec.boot_s
+        outcome = "ok"
+        if self.fault_model is not None:
+            outcome, factor = self.fault_model.boot_outcome(host.host_id)
+            duration *= factor
         host.state = HostState.BOOTING
         self._dirty.add(host.host_id)
         self.metrics.counters.incr("boots")
         self.emit(TraceEventKind.BOOT_START, host_id=host.host_id)
-        self.sim.schedule(
-            host.spec.boot_s,
-            lambda h=host: self._on_boot_done(h),
-            label=f"boot:{host.host_id}",
-        )
-        return True
+        if outcome == "fail":
+            # The machine burns the boot time and falls back to OFF.
+            self.sim.schedule(
+                duration,
+                lambda h=host: self._on_boot_failed(h),
+                label=f"boot-fail:{host.host_id}",
+            )
+        else:
+            self.sim.schedule(
+                duration,
+                lambda h=host: self._on_boot_done(h),
+                label=f"boot:{host.host_id}",
+            )
+        return None
 
-    def _act_turn_off(self, action: TurnOff) -> bool:
+    def _act_turn_off(self, action: TurnOff) -> Optional[RejectReason]:
         host: Optional[Host] = self.hosts_by_id.get(action.host_id)
-        if host is None or not host.is_idle:
-            return False
+        if host is None:
+            return RejectReason.UNKNOWN_HOST
+        if not host.is_idle:
+            return RejectReason.HOST_NOT_IDLE
         host.state = HostState.OFF
         self._dirty.add(host.host_id)
         self.metrics.counters.incr("shutdowns")
         self.emit(TraceEventKind.SHUTDOWN, host_id=host.host_id)
-        return True
+        return None
 
     # -------------------------------------------------------------- helpers
 

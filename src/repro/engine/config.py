@@ -12,6 +12,7 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import Optional
 
+from repro.cluster.faults import FaultConfig
 from repro.errors import ConfigurationError
 from repro.units import DAY, HOUR
 
@@ -96,25 +97,101 @@ class EngineConfig:
     strict_invariants: bool = False
     invariant_mode: str = "raise"
     invariant_interval_s: float = 3600.0
+    #: Operation-level fault injection (:class:`repro.cluster.faults.FaultConfig`);
+    #: ``None`` disables chaos entirely (zero extra random draws — rows
+    #: stay bit-identical to pre-chaos baselines).
+    faults: Optional[FaultConfig] = None
+    #: Seed of the chaos stream family; ``None`` derives it from ``seed``.
+    #: A separate knob so the same workload can be replayed under
+    #: different fault realizations (and vice versa).
+    chaos_seed: Optional[int] = None
+    #: Feed the per-host :class:`~repro.cluster.faults.ObservedReliability`
+    #: tracker into the score policy's P_fault term (replacing the static
+    #: spec ``F_rel``); requires a policy with ``use_observed_reliability``.
+    observed_reliability: bool = False
+    #: Supervisor: operation failures per window before a host is
+    #: quarantined (0 disables quarantining).
+    quarantine_threshold: int = 3
+    #: Supervisor: sliding window over which operation failures count
+    #: toward the quarantine threshold.
+    quarantine_window_s: float = 1800.0
+    #: Supervisor: how long a quarantined host stays excluded.
+    quarantine_duration_s: float = 3600.0
+    #: Supervisor: first retry backoff after a failed creation; doubles
+    #: per consecutive failure of the same VM, capped below.
+    retry_backoff_base_s: float = 30.0
+    retry_backoff_cap_s: float = 600.0
 
     def __post_init__(self) -> None:
         if self.initial_on < 0:
             raise ConfigurationError("initial_on must be >= 0")
-        if self.creation_sigma_s < 0 or self.migration_sigma_s < 0:
-            raise ConfigurationError("jitter sigmas must be >= 0")
+        if self.creation_sigma_s < 0:
+            raise ConfigurationError(
+                f"creation_sigma_s must be >= 0, got {self.creation_sigma_s!r}"
+            )
+        if self.migration_sigma_s < 0:
+            raise ConfigurationError(
+                f"migration_sigma_s must be >= 0, got {self.migration_sigma_s!r}"
+            )
         if self.drain_grace_s <= 0:
-            raise ConfigurationError("drain grace must be positive")
+            raise ConfigurationError(
+                f"drain_grace_s must be positive, got {self.drain_grace_s!r}"
+            )
         if self.sla_check_interval_s <= 0:
-            raise ConfigurationError("sla check interval must be positive")
+            raise ConfigurationError(
+                f"sla_check_interval_s must be positive, "
+                f"got {self.sla_check_interval_s!r}"
+            )
         if self.mttr_s <= 0:
-            raise ConfigurationError("mttr must be positive")
+            raise ConfigurationError(
+                f"mttr_s must be positive, got {self.mttr_s!r}"
+            )
         if self.checkpoint_interval_s is not None and self.checkpoint_interval_s <= 0:
-            raise ConfigurationError("checkpoint interval must be positive")
-        if self.checkpoint_cpu_pct < 0 or self.checkpoint_duration_s <= 0:
-            raise ConfigurationError("invalid checkpoint cost parameters")
+            raise ConfigurationError(
+                f"checkpoint_interval_s must be positive when set, "
+                f"got {self.checkpoint_interval_s!r}"
+            )
+        if self.checkpoint_cpu_pct < 0:
+            raise ConfigurationError(
+                f"checkpoint_cpu_pct must be >= 0, got {self.checkpoint_cpu_pct!r}"
+            )
+        if self.checkpoint_duration_s <= 0:
+            raise ConfigurationError(
+                f"checkpoint_duration_s must be positive, "
+                f"got {self.checkpoint_duration_s!r}"
+            )
         if self.trace_capacity < 1:
             raise ConfigurationError("trace capacity must be >= 1")
         if self.invariant_mode not in ("raise", "resync"):
             raise ConfigurationError("invariant mode must be 'raise' or 'resync'")
         if self.invariant_interval_s <= 0:
             raise ConfigurationError("invariant interval must be positive")
+        if self.faults is not None and not isinstance(self.faults, FaultConfig):
+            raise ConfigurationError(
+                f"faults must be a FaultConfig or None, got {self.faults!r}"
+            )
+        if self.quarantine_threshold < 0:
+            raise ConfigurationError(
+                f"quarantine_threshold must be >= 0, "
+                f"got {self.quarantine_threshold!r}"
+            )
+        if self.quarantine_window_s <= 0:
+            raise ConfigurationError(
+                f"quarantine_window_s must be positive, "
+                f"got {self.quarantine_window_s!r}"
+            )
+        if self.quarantine_duration_s <= 0:
+            raise ConfigurationError(
+                f"quarantine_duration_s must be positive, "
+                f"got {self.quarantine_duration_s!r}"
+            )
+        if self.retry_backoff_base_s <= 0:
+            raise ConfigurationError(
+                f"retry_backoff_base_s must be positive, "
+                f"got {self.retry_backoff_base_s!r}"
+            )
+        if self.retry_backoff_cap_s < self.retry_backoff_base_s:
+            raise ConfigurationError(
+                f"retry_backoff_cap_s must be >= retry_backoff_base_s, "
+                f"got {self.retry_backoff_cap_s!r}"
+            )

@@ -18,7 +18,15 @@ is detected, or the reliability of a node changes"):
   re-derived when shares change;
 * **host failure / repair** (optional) → re-queue lost VMs (restoring the
   latest checkpoint when available), clean up cross-host operations;
-* **SLA tick** (optional) → dynamic requirement inflation and a round.
+* **SLA tick** (optional) → dynamic requirement inflation and a round;
+* **operation faults** (optional, ``EngineConfig.faults``) → creation
+  failures, mid-flight migration aborts and boot failures sampled by
+  :class:`~repro.cluster.faults.OperationFaultModel`, handled by a
+  supervisor layer: failed creations are re-queued with capped backoff
+  (in simulated time), flapping hosts are quarantined out of the
+  candidate set for a while, and per-host operation outcomes feed an
+  :class:`~repro.cluster.faults.ObservedReliability` tracker the score
+  policy can use in place of the static ``F_rel``.
 
 Progress accounting is exact *and lazy*: a VM's work integral advances at
 its current share, and shares only change inside events — specifically in
@@ -50,11 +58,13 @@ import math
 import os
 import time as _time
 import warnings
+from collections import deque
 from dataclasses import replace as _replace
-from typing import Dict, List, Optional, Sequence, Set
+from typing import Deque, Dict, List, Optional, Sequence, Set
 
 from repro.cluster.checkpoint import CheckpointStore
 from repro.cluster.failures import FailureProcess
+from repro.cluster.faults import ObservedReliability, OperationFaultModel
 from repro.cluster.host import Host, HostState, Operation, OperationKind
 from repro.cluster.spec import ClusterSpec
 from repro.cluster.vm import Vm, VmState
@@ -171,6 +181,47 @@ class DatacenterSimulation(ActuatorsMixin):
             self.sla_monitor = SlaMonitor()
 
         self.checkpoints = CheckpointStore(self.config.checkpoint_interval_s)
+
+        # ---- operation-level chaos + self-healing supervisor -------------
+        # The fault model draws from its own seed-derived stream family
+        # ("faults.*" names), so chaos-off runs consume zero chaos draws
+        # and stay bit-identical to pre-chaos baselines.
+        faults = self.config.faults
+        self.fault_model: Optional[OperationFaultModel] = None
+        if faults is not None and faults.any_faults:
+            chaos_seed = (
+                self.config.chaos_seed
+                if self.config.chaos_seed is not None
+                else self.config.seed
+            )
+            self.fault_model = OperationFaultModel(faults, seed=chaos_seed)
+        self._supervisor = self.fault_model is not None
+        self.observed: Optional[ObservedReliability] = None
+        if self._supervisor or self.config.observed_reliability:
+            self.observed = ObservedReliability(
+                {h.host_id: h.spec.reliability for h in self.hosts}
+            )
+        if self.config.observed_reliability and hasattr(
+            self.policy, "reliability_source"
+        ):
+            # The score policy reads learned per-host reliabilities from
+            # here instead of the static spec F_rel (ScoreConfig flag
+            # use_observed_reliability gates the substitution).
+            self.policy.reliability_source = self.observed.score
+        #: Consecutive creation failures per VM (drives capped backoff).
+        self._vm_attempts: Dict[int, int] = {}
+        #: Pending re-queue events of parked (backing-off) VMs.
+        self._park_handles: Dict[int, object] = {}
+        #: Recent operation-failure timestamps per host (quarantine window).
+        self._fault_windows: Dict[int, Deque[float]] = {}
+        #: Recovery-latency accounting: first-failure time per VM, plus
+        #: completed-recovery totals.
+        self._recovery_started: Dict[int, float] = {}
+        self._recovery_total_s = 0.0
+        self._recoveries = 0
+        #: Work destroyed by faults/crashes, in percent-seconds.
+        self._lost_work_pct_s = 0.0
+
         self._failure_processes: Dict[int, FailureProcess] = {}
         if self.config.enable_failures:
             for h in self.hosts:
@@ -319,6 +370,14 @@ class DatacenterSimulation(ActuatorsMixin):
         vm.job.state = JobState.RUNNING
         vm.creations += 1
         vm.last_progress_t = self.sim.now
+        if self.observed is not None:
+            self.observed.record_success(host.host_id)
+        if self._supervisor:
+            started = self._recovery_started.pop(vm.vm_id, None)
+            if started is not None:
+                self._recovery_total_s += self.sim.now - started
+                self._recoveries += 1
+            self._vm_attempts.pop(vm.vm_id, None)
         self.emit(TraceEventKind.CREATION_DONE, vm_id=vm.vm_id, host_id=host.host_id)
         self._dirty.add(host.host_id)
         self._refresh()
@@ -340,6 +399,8 @@ class DatacenterSimulation(ActuatorsMixin):
         dst.add_vm(vm)
         vm.state = VmState.RUNNING
         vm.migrations += 1
+        if self.observed is not None:
+            self.observed.record_success(dst.host_id)
         self.metrics.counters.incr("migrations")
         self.emit(
             TraceEventKind.MIGRATION_DONE,
@@ -369,9 +430,183 @@ class DatacenterSimulation(ActuatorsMixin):
         if host.state is not HostState.BOOTING:
             return
         host.state = HostState.ON
+        if self.observed is not None:
+            self.observed.record_success(host.host_id)
         self.emit(TraceEventKind.BOOT_DONE, host_id=host.host_id)
         self._dirty.add(host.host_id)
         self._refresh()
+        self.trigger_round()
+
+    # ------------------------------------------- chaos fault handling
+
+    def _on_creation_failed(self, vm: Vm, host: Host) -> None:
+        """A sampled creation fault fires after the creation time is burned.
+
+        The VM goes back to QUEUED but is *parked* (not in the queue) for
+        a capped-exponential backoff in simulated time; :meth:`_on_requeue`
+        then makes it schedulable again.  SLA accounting is exact: the
+        job's wait clock keeps running while parked (``fulfillment``
+        treats QUEUED VMs by projected wait), and no progress was accrued
+        during the failed creation.
+        """
+        if vm.state is not VmState.CREATING or vm.host_id != host.host_id:
+            return  # superseded by a host failure
+        host.end_operation(OperationKind.CREATE, vm.vm_id)
+        host.remove_vm(vm.vm_id)
+        vm.state = VmState.QUEUED
+        vm.job.state = JobState.PENDING
+        vm.host_id = None
+        vm.share = 0.0
+        vm.last_progress_t = self.sim.now
+        self.metrics.counters.incr("failed_creations")
+        self.emit(
+            TraceEventKind.CREATION_FAILED, vm_id=vm.vm_id, host_id=host.host_id
+        )
+        self._note_operation_failure(host)
+        attempts = self._vm_attempts.get(vm.vm_id, 0) + 1
+        self._vm_attempts[vm.vm_id] = attempts
+        self._recovery_started.setdefault(vm.vm_id, self.sim.now)
+        backoff = min(
+            self.config.retry_backoff_base_s * (2.0 ** (attempts - 1)),
+            self.config.retry_backoff_cap_s,
+        )
+        self._park(vm, backoff)
+        self._dirty.add(host.host_id)
+        self._refresh()
+        self.trigger_round()
+
+    def _on_migration_aborted(self, vm: Vm, src: Host, dst: Host) -> None:
+        """A sampled migration fault fires mid-transfer.
+
+        The VM never left its source: both operation legs end, the
+        destination reservation is released, and the VM resumes RUNNING
+        on the source.  Recovery semantics follow
+        ``FaultConfig.migration_abort_recovery``: ``refund`` keeps the
+        work accrued up to the abort instant, ``checkpoint`` rolls the VM
+        back to its latest snapshot (or scratch) and prices the lost
+        CPU-seconds.
+        """
+        if vm.state is not VmState.MIGRATING or vm.migration_dst != dst.host_id:
+            return  # superseded by a failure on either end
+        vm.advance(self.sim.now)
+        src.end_operation(OperationKind.MIGRATE_OUT, vm.vm_id)
+        dst.end_operation(OperationKind.MIGRATE_IN, vm.vm_id)
+        dst.release_reservation(vm.vm_id)
+        vm.migration_src = None
+        vm.migration_dst = None
+        vm.state = VmState.RUNNING
+        faults = self.config.faults
+        if faults is not None and faults.migration_abort_recovery == "checkpoint":
+            snapshot = self.checkpoints.latest(vm.vm_id)
+            target = snapshot.work_done if snapshot is not None else 0.0
+            target = min(target, vm.work_done)
+            lost = vm.work_done - target
+            if lost > 0:
+                self._lost_work_pct_s += lost
+                vm.work_done = target
+            if snapshot is not None:
+                self.metrics.counters.incr("checkpoint_recoveries")
+        self.metrics.counters.incr("aborted_migrations")
+        self.emit(
+            TraceEventKind.MIGRATION_ABORTED,
+            vm_id=vm.vm_id,
+            host_id=dst.host_id,
+            detail=f"stays on host {src.host_id}",
+        )
+        self._note_operation_failure(dst)
+        self._dirty.add(src.host_id)
+        self._dirty.add(dst.host_id)
+        if vm.work_remaining <= _WORK_EPS:
+            self._complete_vm(vm, src)
+        self._refresh()
+        self.trigger_round()
+
+    def _on_boot_failed(self, host: Host) -> None:
+        """A sampled boot fault: the machine burns boot time, ends OFF."""
+        if host.state is not HostState.BOOTING:
+            return  # superseded by a host failure
+        host.state = HostState.OFF
+        self.metrics.counters.incr("boot_failures")
+        self.emit(TraceEventKind.BOOT_FAILED, host_id=host.host_id)
+        self._note_operation_failure(host)
+        self._dirty.add(host.host_id)
+        self._refresh()
+        self.trigger_round()
+
+    # ------------------------------------------- supervisor machinery
+
+    def _park(self, vm: Vm, delay_s: float) -> None:
+        """Hold a failed VM out of the queue for ``delay_s`` of sim time."""
+        self._cancel_park(vm)
+        self._park_handles[vm.vm_id] = self.sim.schedule(
+            delay_s, lambda v=vm: self._on_requeue(v), label=f"requeue:{vm.vm_id}"
+        )
+
+    def _cancel_park(self, vm: Vm) -> None:
+        handle = self._park_handles.pop(vm.vm_id, None)
+        if handle is not None:
+            handle.cancel()
+
+    def _on_requeue(self, vm: Vm) -> None:
+        """Backoff expired: make a parked VM schedulable again."""
+        self._park_handles.pop(vm.vm_id, None)
+        if vm.state is not VmState.QUEUED or vm.vm_id in self.queue:
+            return  # placed early, completed, or already waiting
+        if vm.vm_id not in self._live:
+            return  # defensive: the VM left the system while parked
+        self.queue[vm.vm_id] = vm
+        self.emit(TraceEventKind.VM_REQUEUED, vm_id=vm.vm_id)
+        self.trigger_round()
+
+    def _note_operation_failure(self, host: Host, *, crash: bool = False) -> None:
+        """Record a failed operation (or crash) against ``host``.
+
+        Feeds the observed-reliability EWMA and the quarantine window:
+        ``quarantine_threshold`` failures within ``quarantine_window_s``
+        exclude the host from placement/boot candidates for
+        ``quarantine_duration_s``.
+        """
+        if self.observed is not None:
+            if crash:
+                self.observed.record_crash(host.host_id)
+            else:
+                self.observed.record_failure(host.host_id)
+        if not self._supervisor:
+            return
+        threshold = self.config.quarantine_threshold
+        if threshold <= 0 or host.quarantined:
+            return
+        now = self.sim.now
+        window = self._fault_windows.setdefault(host.host_id, deque())
+        window.append(now)
+        cutoff = now - self.config.quarantine_window_s
+        while window and window[0] < cutoff:
+            window.popleft()
+        if len(window) >= threshold:
+            self._quarantine(host)
+
+    def _quarantine(self, host: Host) -> None:
+        host.quarantined = True
+        host.quarantined_until = self.sim.now + self.config.quarantine_duration_s
+        self._fault_windows.pop(host.host_id, None)
+        self.metrics.counters.incr("quarantines")
+        self.emit(
+            TraceEventKind.HOST_QUARANTINED,
+            host_id=host.host_id,
+            detail=f"until t={host.quarantined_until:.0f}s",
+        )
+        self.sim.schedule(
+            self.config.quarantine_duration_s,
+            lambda h=host: self._on_quarantine_expired(h),
+            label=f"unquarantine:{host.host_id}",
+        )
+
+    def _on_quarantine_expired(self, host: Host) -> None:
+        if not host.quarantined:
+            return
+        host.quarantined = False
+        host.quarantined_until = 0.0
+        self.emit(TraceEventKind.HOST_UNQUARANTINED, host_id=host.host_id)
         self.trigger_round()
 
     # -------------------------------------------------------------- failure
@@ -400,6 +635,8 @@ class DatacenterSimulation(ActuatorsMixin):
             host_id=host.host_id,
             detail=f"{len(host.vms)} vms lost",
         )
+        if self.observed is not None or self._supervisor:
+            self._note_operation_failure(host, crash=True)
 
         # Clean up cross-host operation legs first.
         for op in list(host.operations):
@@ -433,10 +670,14 @@ class DatacenterSimulation(ActuatorsMixin):
             self._cancel_completion(vm)
             snapshot = self.checkpoints.latest(vm.vm_id)
             if snapshot is not None:
-                vm.work_done = min(snapshot.work_done, vm.work_total)
+                restored = min(snapshot.work_done, vm.work_total)
                 self.metrics.counters.incr("checkpoint_recoveries")
             else:
-                vm.work_done = 0.0
+                restored = 0.0
+            self._lost_work_pct_s += max(vm.work_done - restored, 0.0)
+            vm.work_done = restored
+            if self._supervisor:
+                self._recovery_started.setdefault(vm.vm_id, self.sim.now)
             vm.state = VmState.QUEUED
             vm.job.state = JobState.PENDING
             vm.host_id = None
@@ -731,6 +972,14 @@ class DatacenterSimulation(ActuatorsMixin):
         counters = self.metrics.counters
         n_completed = sum(1 for j in jobs if j.state is JobState.COMPLETED)
         n_failed = sum(1 for j in jobs if j.state is JobState.FAILED)
+        reject_reasons = {
+            key[len("rejected."):]: count
+            for key, count in counters.as_dict().items()
+            if key.startswith("rejected.")
+        }
+        mean_recovery_s = (
+            self._recovery_total_s / self._recoveries if self._recoveries else 0.0
+        )
         return SimulationResult(
             policy=self.policy.name,
             lambda_min=self.power_manager.config.lambda_min,
@@ -757,6 +1006,13 @@ class DatacenterSimulation(ActuatorsMixin):
             wall_clock_s=_time.perf_counter() - wall_start,
             invariant_checks=self._invariant_checks,
             invariant_resyncs=self._invariant_resyncs,
+            failed_creations=counters["failed_creations"],
+            aborted_migrations=counters["aborted_migrations"],
+            boot_failures=counters["boot_failures"],
+            quarantines=counters["quarantines"],
+            lost_cpu_s=self._lost_work_pct_s / 100.0,
+            mean_recovery_s=mean_recovery_s,
+            reject_reasons=reject_reasons,
         )
 
 

@@ -56,6 +56,19 @@ class SimulationResult:
     #: the incremental O(dirty) state diverged during the run.
     invariant_checks: int = 0
     invariant_resyncs: int = 0
+    #: Operation-level chaos (EngineConfig.faults) and its supervisor:
+    #: sampled fault outcomes, quarantine decisions, CPU-seconds destroyed
+    #: by faults/crashes, and the mean latency from a VM's first failure
+    #: to its next successful creation.
+    failed_creations: int = 0
+    aborted_migrations: int = 0
+    boot_failures: int = 0
+    quarantines: int = 0
+    lost_cpu_s: float = 0.0
+    mean_recovery_s: float = 0.0
+    #: Dropped-action breakdown keyed by
+    #: :class:`~repro.engine.actuators.RejectReason` value.
+    reject_reasons: Dict[str, int] = field(default_factory=dict)
     extra: Dict[str, float] = field(default_factory=dict)
 
     @property

@@ -35,6 +35,13 @@ class TraceEventKind(enum.Enum):
     HOST_REPAIR = "host_repair"
     SLA_INFLATION = "sla_inflation"
     ACTION_REJECTED = "action_rejected"
+    # Operation-level chaos (repro.cluster.faults) and its supervisor.
+    CREATION_FAILED = "creation_failed"
+    MIGRATION_ABORTED = "migration_aborted"
+    BOOT_FAILED = "boot_failed"
+    HOST_QUARANTINED = "host_quarantined"
+    HOST_UNQUARANTINED = "host_unquarantined"
+    VM_REQUEUED = "vm_requeued"
 
 
 @dataclass(frozen=True)
@@ -126,3 +133,27 @@ class EventTrace:
         """Human-readable single-VM narrative."""
         lines = [str(r) for r in self.for_vm(vm_id)]
         return "\n".join(lines) if lines else f"(no records for vm {vm_id})"
+
+    def write_jsonl(self, path: str) -> int:
+        """Dump all retained records as JSON lines; returns the count.
+
+        Used by the CLI's ``--trace-out`` (and CI's chaos-drill artifact):
+        one object per line so a partial file is still parseable.
+        """
+        import json
+
+        with open(path, "w", encoding="utf-8") as fh:
+            for r in self._records:
+                fh.write(
+                    json.dumps(
+                        {
+                            "time": r.time,
+                            "kind": r.kind.value,
+                            "vm_id": r.vm_id,
+                            "host_id": r.host_id,
+                            "detail": r.detail,
+                        }
+                    )
+                    + "\n"
+                )
+        return len(self._records)

@@ -9,6 +9,7 @@ from repro.experiments import (
     ablation_power,
     ablation_seeds,
     ablation_solver,
+    ext_chaos,
     ext_checkpoint_cost,
     ext_dynamic_thresholds,
     ext_economics,
@@ -38,6 +39,7 @@ REGISTRY: Dict[str, Callable[..., ExperimentOutput]] = {
     "table4": table4_migration.run,
     "table5": table5_consolidation.run,
     "ext_reliability": ext_reliability.run,
+    "ext_chaos": ext_chaos.run,
     "ext_sla": ext_sla.run,
     "ext_heuristics": ext_heuristics.run,
     "ext_checkpoint_cost": ext_checkpoint_cost.run,

@@ -76,7 +76,9 @@ class _StickyBindingPolicy(SchedulingPolicy):
                 candidates = [
                     h
                     for h in ctx.hosts
-                    if h.state is not HostState.FAILED and h.meets_requirements(vm.job)
+                    if h.state is not HostState.FAILED
+                    and not h.quarantined
+                    and h.meets_requirements(vm.job)
                 ]
                 if not candidates:
                     continue
@@ -175,7 +177,7 @@ class BackfillingPolicy(SchedulingPolicy):
             best: Optional[Host] = None
             best_occ = -1.0
             for h in ctx.hosts:
-                if not h.is_on or not h.meets_requirements(vm.job):
+                if not h.is_on or h.quarantined or not h.meets_requirements(vm.job):
                     continue
                 occ_after = max(
                     (h.cpu_reserved(cpu_extra[h.host_id] + vm.cpu_req))

@@ -147,7 +147,7 @@ class DynamicBackfillingPolicy(SchedulingPolicy):
             best_occ = -1.0
             for h in ctx.hosts:
                 hid = h.host_id
-                if hid == src.host_id or not h.is_on:
+                if hid == src.host_id or not h.is_on or h.quarantined:
                     continue
                 if not h.meets_requirements(vm.job):
                     continue

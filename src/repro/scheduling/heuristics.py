@@ -50,7 +50,7 @@ class _EctState:
         self.mem: Dict[int, float] = {}
         self.hosts: Dict[int, Host] = {}
         for h in hosts:
-            if h.is_on:
+            if h.is_on and not h.quarantined:
                 self.cpu[h.host_id] = h.cpu_reserved()
                 self.mem[h.host_id] = h.mem_reserved()
                 self.hosts[h.host_id] = h

@@ -120,7 +120,11 @@ class PowerManager:
             # controller would otherwise deadlock a full datacenter.
             need = max(target_online - online, 1)
             need = min(need, cfg.max_boots_per_round)
-            candidates = [h for h in hosts if h.state is HostState.OFF]
+            # Quarantined machines sit out the boot preference until the
+            # supervisor clears them.
+            candidates = [
+                h for h in hosts if h.state is HostState.OFF and not h.quarantined
+            ]
             candidates.sort(key=self._boot_preference)
             for h in candidates[:need]:
                 actions.append(TurnOn(host_id=h.host_id))

@@ -62,6 +62,12 @@ class ScoreConfig:
     enable_pwr: bool = True
     enable_sla: bool = False
     enable_fault: bool = False
+    #: When P_fault is enabled, read per-host reliabilities from the
+    #: engine's learned :class:`~repro.cluster.faults.ObservedReliability`
+    #: tracker (wired through ``ScoreBasedPolicy.reliability_source``)
+    #: instead of the static spec ``F_rel``.  No effect unless the engine
+    #: runs with ``EngineConfig.observed_reliability``.
+    use_observed_reliability: bool = False
     allow_migration: bool = True
     th_empty: int = 1
     c_empty: float = 20.0

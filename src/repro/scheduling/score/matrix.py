@@ -130,6 +130,9 @@ class ScoreMatrixBuilder:
     host_cache:
         Optional :class:`HostArrayCache` for these hosts — skips
         rebuilding the static host-side arrays (built fresh when absent).
+    reliability:
+        Optional per-host reliability vector (host order) overriding the
+        static spec ``F_rel`` in P_fault — the observed-reliability hook.
     """
 
     def __init__(
@@ -140,6 +143,7 @@ class ScoreMatrixBuilder:
         config: ScoreConfig,
         fulfillments: Optional[Dict[int, float]] = None,
         host_cache: Optional[HostArrayCache] = None,
+        reliability: Optional[Sequence[float]] = None,
     ) -> None:
         if host_cache is None or not host_cache.matches(hosts):
             host_cache = HostArrayCache(hosts)
@@ -163,7 +167,13 @@ class ScoreMatrixBuilder:
         # Static arrays come from the per-simulation cache; dynamic state
         # (availability, occupancy, concurrency, in-round pending costs)
         # is rebuilt per round from the hosts' O(1) occupancy aggregates.
-        self.avail = np.array([h.is_available for h in self.hosts], dtype=bool)
+        # Quarantined hosts (supervisor exclusion) take no new columns;
+        # their residents' current cells go infinite, which prices them at
+        # queue_cost and lets the hill climber drain the machine.
+        self.avail = np.array(
+            [h.is_available and not h.quarantined for h in self.hosts],
+            dtype=bool,
+        )
         self.cap_cpu = host_cache.cap_cpu
         self.cap_mem = host_cache.cap_mem
         self.res_cpu = np.array([h.cpu_reserved() for h in self.hosts])
@@ -173,7 +183,11 @@ class ScoreMatrixBuilder:
         self.pending = np.zeros(self.n_rows)
         self.cc = host_cache.cc
         self.cm = host_cache.cm
-        self.rel = host_cache.rel
+        self.rel = (
+            host_cache.rel
+            if reliability is None
+            else np.asarray(reliability, dtype=float)
+        )
 
         # ---- vm-side arrays ----------------------------------------------
         self.vcpu = np.array([vm.cpu_req for vm in self.columns])

@@ -36,8 +36,12 @@ INF = float("inf")
 
 
 def p_req(host: Host, vm: Vm) -> float:
-    """Hardware/software requirements: ∞ if the host cannot ever hold the VM."""
-    if not host.is_available:
+    """Hardware/software requirements: ∞ if the host cannot ever hold the VM.
+
+    Quarantined hosts (supervisor exclusion after repeated operation
+    faults) are unavailable for the quarantine's duration.
+    """
+    if not host.is_available or host.quarantined:
         return INF
     return 0.0 if host.meets_requirements(vm.job) else INF
 
@@ -123,13 +127,22 @@ def p_sla(host: Host, vm: Vm, fulfillment: float, config: ScoreConfig) -> float:
     return config.c_sla
 
 
-def p_fault(host: Host, vm: Vm, config: ScoreConfig) -> float:
+def p_fault(
+    host: Host,
+    vm: Vm,
+    config: ScoreConfig,
+    reliability: Optional[float] = None,
+) -> float:
     """Reliability penalty ``((1 − F_rel(h)) − F_tol(vm)) · C_fail``.
 
     Negative values (a tolerant VM on a reliable host) are kept as the
-    paper writes the formula — they act as a mild reward.
+    paper writes the formula — they act as a mild reward.  ``reliability``
+    substitutes a learned per-host estimate (the engine's
+    :class:`~repro.cluster.faults.ObservedReliability`) for the static
+    spec ``F_rel``.
     """
-    return ((1.0 - host.spec.reliability) - vm.job.fault_tolerance) * config.c_fail
+    rel = host.spec.reliability if reliability is None else reliability
+    return ((1.0 - rel) - vm.job.fault_tolerance) * config.c_fail
 
 
 def total_score(
@@ -140,6 +153,7 @@ def total_score(
     *,
     fulfillment: float = 1.0,
     pending_conc_cost: float = 0.0,
+    reliability: Optional[float] = None,
 ) -> float:
     """The merged cell score ``Score(h, vm)`` — sum of enabled penalties."""
     score = p_req(host, vm) + p_res(host, vm)
@@ -154,5 +168,5 @@ def total_score(
     if config.enable_sla:
         score += p_sla(host, vm, fulfillment, config)
     if config.enable_fault:
-        score += p_fault(host, vm, config)
+        score += p_fault(host, vm, config, reliability)
     return score

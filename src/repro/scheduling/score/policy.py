@@ -20,7 +20,7 @@ down before fast ones.
 
 from __future__ import annotations
 
-from typing import Dict, List, Optional
+from typing import Callable, Dict, List, Optional, Sequence
 
 from repro.cluster.host import Host
 from repro.cluster.vm import Vm, VmState
@@ -72,6 +72,10 @@ class ScoreBasedPolicy(SchedulingPolicy):
         self.name = name if name is not None else self._derive_name()
         self._next_consolidation = 0.0
         self._host_cache: Optional[HostArrayCache] = None
+        #: host_id -> learned reliability, wired up by the engine when
+        #: ``EngineConfig.observed_reliability`` is on; consulted only when
+        #: the config sets ``use_observed_reliability``.
+        self.reliability_source: Optional[Callable[[int], float]] = None
 
     def _cached_host_arrays(self, ctx: SchedulingContext) -> HostArrayCache:
         """The per-simulation static host arrays (rebuilt on a new cluster).
@@ -85,6 +89,19 @@ class ScoreBasedPolicy(SchedulingPolicy):
             cache = HostArrayCache(ctx.hosts)
             self._host_cache = cache
         return cache
+
+    def _reliability_vector(
+        self, ctx: SchedulingContext
+    ) -> Optional[Sequence[float]]:
+        """Learned per-host reliabilities for P_fault, or None (static F_rel)."""
+        if (
+            not self.config.enable_fault
+            or not self.config.use_observed_reliability
+            or self.reliability_source is None
+        ):
+            return None
+        source = self.reliability_source
+        return [source(h.host_id) for h in ctx.hosts]
 
     def _derive_name(self) -> str:
         cfg = self.config
@@ -146,6 +163,7 @@ class ScoreBasedPolicy(SchedulingPolicy):
             config=self.config,
             fulfillments=fulfills,
             host_cache=self._cached_host_arrays(ctx),
+            reliability=self._reliability_vector(ctx),
         )
         if self.solver == "hill_climb":
             moves = hill_climb(builder)
@@ -186,6 +204,7 @@ class ScoreBasedPolicy(SchedulingPolicy):
             config=self.config,
             fulfillments=fulfills,
             host_cache=self._cached_host_arrays(ctx),
+            reliability=self._reliability_vector(ctx),
         )
         row_of = builder.host_cache.host_index
         return sorted(

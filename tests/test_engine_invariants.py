@@ -144,3 +144,58 @@ class TestDriftDetection:
         engine._next_invariant_check = 0.0
         with pytest.raises(StateError, match="metrics"):
             engine.run()
+
+
+class TestChaosDeterminismGuard:
+    """The chaos plumbing must not move a single chaos-off bit.
+
+    Chaos draws come from a separate seed-derived stream family that a
+    chaos-off run never touches, so rows with ``faults=None`` must stay
+    bit-identical to the committed macro baselines — and chaos-on runs
+    must be a pure function of the chaos seed.
+    """
+
+    def _baseline(self):
+        import json
+        import pathlib
+
+        path = (pathlib.Path(__file__).resolve().parent.parent
+                / "benchmarks" / "baselines" / "BENCH_macro_quick.json")
+        if not path.exists():
+            pytest.skip("no committed macro baseline")
+        return json.loads(path.read_text())
+
+    def test_chaos_off_rows_match_committed_baselines(self):
+        from benchmarks.macro import DETERMINISM_FIELDS
+        from repro.experiments.common import (
+            lambda_config, paper_cluster, paper_trace, run_policy,
+        )
+
+        baseline = self._baseline()
+        result = run_policy(
+            BackfillingPolicy(),
+            paper_trace(scale=baseline["scale"], seed=baseline["seed"]),
+            cluster=paper_cluster(),
+            pm_config=lambda_config(),
+            engine_config=None,
+        )
+        expected = baseline["results"]["BF"]
+        for field in DETERMINISM_FIELDS:
+            assert getattr(result, field) == expected[field], field
+
+    def test_chaos_on_bit_identical_per_chaos_seed(self):
+        from repro.cluster.faults import FaultConfig
+
+        def run():
+            engine = _engine(EngineConfig(
+                seed=3, faults=FaultConfig.uniform(0.08), chaos_seed=17,
+            ))
+            return engine.run()
+
+        a, b = run(), run()
+        for field in ROW_FIELDS + (
+            "failed_creations", "aborted_migrations", "boot_failures",
+            "quarantines", "lost_cpu_s", "mean_recovery_s",
+        ):
+            assert getattr(a, field) == getattr(b, field), field
+        assert a.reject_reasons == b.reject_reasons

@@ -160,3 +160,67 @@ class _OneShotProcess:
 
     def next_downtime(self):
         return 60.0
+
+
+class TestChaosFailureInterplay:
+    """Injected operation faults racing real host crashes.
+
+    Chaos schedules its outcome events (creation failure, mid-flight
+    abort) when the operation starts; a host crash can land in between.
+    The later chaos event must then be a clean no-op — the VM was already
+    rescued by the crash path.
+    """
+
+    def test_migration_abort_vs_concurrent_source_crash(self):
+        # Imported lazily: test_faults imports ScriptedPolicy from here.
+        from tests.test_faults import ScriptedFaultModel, build_engine
+
+        stub = ScriptedFaultModel(migration=[True], frac=0.9)
+        engine = build_engine([
+            [Place(vm_id=1, host_id=0)],
+            [Migrate(vm_id=1, dst_host_id=1)],
+        ], fault_stub=stub)
+        engine.sim.at(200.0, engine.trigger_round, label="force-round")
+        run_until(engine, 210.0)  # migrating; abort armed for t = 254
+        vm = engine.vms[1]
+        assert vm.state is VmState.MIGRATING
+
+        src = engine.hosts_by_id[0]
+        dst = engine.hosts_by_id[1]
+        engine._failure_processes[src.host_id] = _OneShotProcess()
+        engine._on_host_failure(src)
+        assert vm.state is VmState.QUEUED
+        assert dst.operations == [] and dst.reservations == {}
+
+        engine.sim.run(until=300.0)  # the armed abort event has fired
+        assert engine.metrics.counters["aborted_migrations"] == 0
+        engine.sim.run()
+        assert vm.job.state is JobState.COMPLETED
+
+    def test_boot_failure_vs_pending_placement(self):
+        """A queued VM whose boot candidate fails to boot still lands.
+
+        BackfillingPolicy waits for an online host; the power manager
+        keeps booting machines, so after the failed boot (full boot time
+        burned, host back to OFF) the retry succeeds and the VM places.
+        """
+        from tests.test_faults import ScriptedFaultModel
+
+        from repro.cluster.faults import ObservedReliability
+        from repro.scheduling.baselines import BackfillingPolicy
+
+        job = Job(job_id=1, submit_time=0.0, runtime_s=600.0,
+                  cpu_pct=100.0, mem_mb=512.0)
+        engine = DatacenterSimulation(
+            cluster=ClusterSpec.homogeneous(2),
+            policy=BackfillingPolicy(),
+            trace=Trace([job]),
+            config=EngineConfig(seed=1, initial_on=0, creation_sigma_s=0.0),
+        )
+        engine.fault_model = ScriptedFaultModel(boot=[("fail", 1.0)])
+        engine._supervisor = True
+        engine.observed = ObservedReliability()
+        engine.start()
+        engine.sim.run()
+        assert engine.vms[1].job.state is JobState.COMPLETED
+        assert engine.metrics.counters["boot_failures"] == 1
