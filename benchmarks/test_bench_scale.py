@@ -1,0 +1,153 @@
+"""Benchmark + tests for the scale gate (``benchmarks/scale.py``).
+
+One tiny sweep point runs through the real ``run_point`` path (the same
+code the CI subprocess executes); the gate's decision logic — sweep
+parsing, throughput regression, determinism drift, memory flatness, and
+the legacy speedup report — is unit-tested against synthetic reports so
+gate bugs surface in the normal suite rather than as CI verdicts.
+"""
+
+import copy
+
+from benchmarks.scale import (
+    DETERMINISM_FIELDS,
+    SCHEMA,
+    check_memory_flatness,
+    check_regression,
+    parse_sweep,
+    point_key,
+    run_point,
+    speedups,
+)
+from repro.experiments.common import DEFAULT_SEED
+
+
+class TestRunPoint:
+    def test_tiny_point_runs_and_reports(self):
+        row = run_point(20, 120, DEFAULT_SEED, legacy=False)
+        assert row["hosts"] == 20 and row["legacy"] is False
+        assert row["n_jobs"] > 0
+        assert row["sim_events"] > 0
+        assert row["wall_clock_s"] > 0
+        assert row["maxrss_kb"] > 0
+        for fld in DETERMINISM_FIELDS:
+            assert fld in row
+
+    def test_point_is_deterministic(self):
+        a = run_point(20, 120, DEFAULT_SEED, legacy=False)
+        b = run_point(20, 120, DEFAULT_SEED, legacy=False)
+        for fld in DETERMINISM_FIELDS:
+            assert a[fld] == b[fld]
+
+
+class TestSweepParsing:
+    def test_points_and_legacy_suffix(self):
+        assert parse_sweep("1000x3400, 10000x100000:legacy") == [
+            (1000, 3400, False),
+            (10000, 100000, True),
+        ]
+
+    def test_point_key(self):
+        assert point_key(1000, 3400, False) == "h1000-j3400"
+        assert point_key(1000, 3400, True) == "h1000-j3400-legacy"
+
+
+def _row(hosts=1000, jobs=3400, legacy=False, norm=20.0, rss=50_000):
+    return {
+        "hosts": hosts,
+        "jobs_target": jobs,
+        "legacy": legacy,
+        "n_jobs": jobs,
+        "wall_clock_s": 5.0,
+        "events_per_s": norm / 0.01,
+        "normalized_events_per_s": norm,
+        "maxrss_kb": rss,
+        "energy_kwh": 5.0,
+        "cpu_hours": 10.0,
+        "migrations": 3,
+        "n_completed": jobs,
+        "sim_events": 800,
+    }
+
+
+def _report(rows):
+    return {
+        "schema": SCHEMA,
+        "seed": DEFAULT_SEED,
+        "calibration_s": 0.01,
+        "results": {
+            point_key(r["hosts"], r["jobs_target"], r["legacy"]): r
+            for r in rows
+        },
+    }
+
+
+class TestRegressionGate:
+    def test_equal_reports_pass(self):
+        rep = _report([_row()])
+        assert check_regression(rep, copy.deepcopy(rep), 0.30) == []
+
+    def test_throughput_regression_fails(self):
+        new = _report([_row(norm=10.0)])
+        base = _report([_row(norm=20.0)])
+        failures = check_regression(new, base, 0.30)
+        assert any("throughput regressed" in f for f in failures)
+
+    def test_faster_run_passes(self):
+        new = _report([_row(norm=40.0)])
+        base = _report([_row(norm=20.0)])
+        assert check_regression(new, base, 0.30) == []
+
+    def test_determinism_drift_fails_regardless_of_speed(self):
+        new = _report([_row(norm=100.0)])
+        new["results"]["h1000-j3400"]["energy_kwh"] += 1e-9
+        failures = check_regression(new, _report([_row()]), 0.30)
+        assert any("energy_kwh drifted" in f for f in failures)
+
+    def test_seed_mismatch_skips_determinism(self):
+        new = _report([_row()])
+        new["seed"] = 1
+        new["results"]["h1000-j3400"]["energy_kwh"] += 1.0
+        assert check_regression(new, _report([_row()]), 0.30) == []
+
+    def test_missing_point_fails(self):
+        failures = check_regression(_report([]), _report([_row()]), 0.30)
+        assert any("missing" in f for f in failures)
+
+    def test_schema_guard(self):
+        bad = _report([_row()])
+        bad["schema"] = "something-else"
+        assert check_regression(_report([_row()]), bad, 0.30)
+
+
+class TestMemoryFlatness:
+    def test_flat_memory_passes(self):
+        rep = _report([_row(jobs=3400, rss=50_000),
+                       _row(jobs=10300, rss=55_000)])
+        assert check_memory_flatness(rep, 0.30) == []
+
+    def test_growing_memory_fails(self):
+        rep = _report([_row(jobs=3400, rss=50_000),
+                       _row(jobs=10300, rss=90_000)])
+        failures = check_memory_flatness(rep, 0.30)
+        assert any("memory grew" in f for f in failures)
+
+    def test_different_hosts_not_compared(self):
+        rep = _report([_row(hosts=1000, jobs=3400, rss=50_000),
+                       _row(hosts=10000, jobs=10300, rss=500_000)])
+        assert check_memory_flatness(rep, 0.30) == []
+
+    def test_legacy_not_compared_with_columnar(self):
+        rep = _report([_row(jobs=3400, rss=50_000),
+                       _row(jobs=10300, legacy=True, rss=500_000)])
+        assert check_memory_flatness(rep, 0.30) == []
+
+
+class TestSpeedups:
+    def test_columnar_vs_legacy_ratio(self):
+        rep = _report([_row(norm=100.0),
+                       _row(jobs=1000, legacy=True, norm=10.0)])
+        assert speedups(rep) == {"h1000": 10.0}
+
+    def test_no_legacy_point_no_ratio(self):
+        assert speedups(_report([_row()])) == {}

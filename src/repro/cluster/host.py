@@ -90,13 +90,15 @@ class Host:
 
     def __init__(self, spec: HostSpec, *, initial_state: HostState = HostState.OFF) -> None:
         self.spec = spec
-        self.state = initial_state
-        #: Supervisor quarantine (see ``docs/robustness.md``): a flapping
-        #: host is temporarily excluded from placement candidates and the
-        #: power manager's boot preference.  Residents keep running (and
-        #: the score matrix drains them away); the flag never changes the
-        #: lifecycle state machine.
-        self.quarantined = False
+        #: Dirty sinks: sets of host ids that observers (the persistent
+        #: columnar scheduler state, see
+        #: :class:`repro.scheduling.score.columnar.ColumnarClusterState`)
+        #: register via :meth:`add_dirty_sink`.  Every mutation that can
+        #: change a scheduler-visible quantity marks this host's id into
+        #: each sink, so observers can refresh O(dirty) instead of O(hosts).
+        self._sinks: tuple = ()
+        self._state = initial_state
+        self._quarantined = False
         self.quarantined_until = 0.0
         #: Resident VMs: running, creating, or migrating out.
         self.vms: Dict[int, Vm] = {}
@@ -124,6 +126,22 @@ class Host:
         self.total_migrations_in = 0
         self.total_migrations_out = 0
 
+    # ------------------------------------------------------------ dirty sinks
+
+    def add_dirty_sink(self, sink: set) -> None:
+        """Register a set that receives this host's id on every mutation.
+
+        Sinks are held weakly in spirit (the host never clears them); an
+        observer that goes away simply stops draining its set.  Adding the
+        same sink twice is a no-op.
+        """
+        if not any(existing is sink for existing in self._sinks):
+            self._sinks = self._sinks + (sink,)
+
+    def _mark_dirty(self) -> None:
+        for sink in self._sinks:
+            sink.add(self.spec.host_id)
+
     # ------------------------------------------------------------ properties
 
     @property
@@ -132,14 +150,40 @@ class Host:
         return self.spec.host_id
 
     @property
+    def state(self) -> HostState:
+        """Lifecycle state; assignment marks the host dirty for observers."""
+        return self._state
+
+    @state.setter
+    def state(self, value: HostState) -> None:
+        self._state = value
+        if self._sinks:
+            self._mark_dirty()
+
+    @property
+    def quarantined(self) -> bool:
+        """Supervisor quarantine flag (see ``docs/robustness.md``): a
+        flapping host is temporarily excluded from placement candidates and
+        the power manager's boot preference.  Residents keep running (and
+        the score matrix drains them away); the flag never changes the
+        lifecycle state machine.  Assignment marks the host dirty."""
+        return self._quarantined
+
+    @quarantined.setter
+    def quarantined(self, value: bool) -> None:
+        self._quarantined = value
+        if self._sinks:
+            self._mark_dirty()
+
+    @property
     def is_on(self) -> bool:
         """Whether guests can run (state == ON)."""
-        return self.state is HostState.ON
+        return self._state is HostState.ON
 
     @property
     def is_available(self) -> bool:
         """Whether the scheduler may target this host (on or booting)."""
-        return self.state in (HostState.ON, HostState.BOOTING)
+        return self._state in (HostState.ON, HostState.BOOTING)
 
     @property
     def is_working(self) -> bool:
@@ -251,6 +295,8 @@ class Host:
             raise StateError(f"host {self.host_id} is {self.state.value}")
         self.vms[vm.vm_id] = vm
         vm.host_id = self.host_id
+        if self._sinks:
+            self._mark_dirty()
         # The VM appended at the end of the dict: extending the cached sum
         # equals the recomputed in-order sum, float for float.
         if self._vm_sums_valid:
@@ -268,6 +314,8 @@ class Host:
         self._vm_sums_valid = False
         if vm.exclusive:
             self._n_exclusive -= 1
+        if self._sinks:
+            self._mark_dirty()
         return vm
 
     def reserve(self, vm: Vm) -> None:
@@ -280,11 +328,15 @@ class Host:
         if self._rsv_sums_valid:
             self._rsv_cpu_sum += vm.cpu_req
             self._rsv_mem_sum += vm.mem_req
+        if self._sinks:
+            self._mark_dirty()
 
     def release_reservation(self, vm_id: int) -> None:
         """Drop an inbound reservation (migration completed or aborted)."""
         if self.reservations.pop(vm_id, None) is not None:
             self._rsv_sums_valid = False
+            if self._sinks:
+                self._mark_dirty()
 
     def note_requirement_change(self, vm: Vm) -> None:
         """Tell the host a *resident* VM's requirement changed in place.
@@ -295,6 +347,8 @@ class Host:
         """
         if vm.vm_id in self.vms:
             self._vm_sums_valid = False
+            if self._sinks:
+                self._mark_dirty()
 
     def evacuate(self) -> None:
         """Drop all residents, reservations and in-flight operations.
@@ -312,6 +366,8 @@ class Host:
         self._rsv_mem_sum = 0.0
         self._rsv_sums_valid = True
         self._n_exclusive = 0
+        if self._sinks:
+            self._mark_dirty()
 
     def resync_aggregates(self) -> None:
         """Rebuild every incremental aggregate from the ground truth.
@@ -325,6 +381,8 @@ class Host:
         self._vm_sums_valid = False
         self._rsv_sums_valid = False
         self._validate_sums()
+        if self._sinks:
+            self._mark_dirty()
 
     def verify_aggregates(self) -> bool:
         """Debug oracle: recompute every aggregate from scratch and compare.
@@ -358,6 +416,8 @@ class Host:
     def begin_operation(self, op: Operation) -> None:
         """Register an in-flight operation and its CPU overhead."""
         self.operations.append(op)
+        if self._sinks:
+            self._mark_dirty()
         if op.kind is OperationKind.CREATE:
             self.total_creations += 1
         elif op.kind is OperationKind.MIGRATE_IN:
@@ -370,6 +430,8 @@ class Host:
         for i, op in enumerate(self.operations):
             if op.kind is kind and op.vm_id == vm_id:
                 del self.operations[i]
+                if self._sinks:
+                    self._mark_dirty()
                 return
         raise StateError(
             f"no {kind.value} operation for vm {vm_id} on host {self.host_id}"
@@ -451,9 +513,9 @@ class Host:
 
     def power_watts(self) -> float:
         """Instantaneous draw given state and CPU usage."""
-        if self.state is HostState.ON:
+        if self._state is HostState.ON:
             return self.spec.power_model.power(self.cpu_used)
-        if self.state is HostState.BOOTING:
+        if self._state is HostState.BOOTING:
             return self.spec.boot_watts
         return 0.0  # OFF or FAILED
 

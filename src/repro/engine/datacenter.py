@@ -50,6 +50,23 @@ full-dict filter produced).  Node metrics are delta-maintained from the
 same dirty-host sweep (see :mod:`repro.engine.metrics`); only checkpoint
 snapshots and the end-of-run result builder may touch everything — see
 ``docs/architecture.md`` for the invariant.
+
+**Streaming workloads.**  ``trace`` may be a
+:class:`~repro.workload.stream.JobStream` instead of a materialized
+:class:`~repro.workload.trace.Trace`.  In that mode arrivals are
+*chained* — each arrival event pulls the next job from the stream and
+schedules it before processing its own — so at most one future arrival
+is ever held in memory, and retired VMs (completed or failed for good)
+are pruned from the registry with their result statistics compacted
+into flat arrays.  A 10⁶-job sweep then holds O(live VMs) of state
+instead of O(total jobs).  Chained arrivals carry priority ``-1``:
+pre-scheduled arrivals occupy the smallest event sequence numbers and
+therefore sort *first* among same-time default-priority events, and the
+explicit priority reproduces exactly that ordering, so a streamed run
+is event-for-event identical to the same workload materialized (the
+one exception: when jobs outlive the drain horizon, the streaming
+mode's horizon-guard event fires — ``sim_events`` counts one extra
+event, and both modes then report the never-arrived jobs as pending).
 """
 
 from __future__ import annotations
@@ -58,9 +75,10 @@ import math
 import os
 import time as _time
 import warnings
+from array import array
 from collections import deque
 from dataclasses import replace as _replace
-from typing import Deque, Dict, List, Optional, Sequence, Set
+from typing import Deque, Dict, Iterator, List, Optional, Sequence, Set, Tuple, Union
 
 from repro.cluster.checkpoint import CheckpointStore
 from repro.cluster.failures import FailureProcess
@@ -80,7 +98,8 @@ from repro.scheduling.base import SchedulingContext, SchedulingPolicy
 from repro.scheduling.power_manager import PowerManager, PowerManagerConfig
 from repro.sla.monitor import SlaMonitor
 from repro.sla.satisfaction import aggregate
-from repro.workload.job import JobState
+from repro.workload.job import Job, JobState
+from repro.workload.stream import JobStream
 from repro.workload.trace import Trace
 
 __all__ = ["DatacenterSimulation", "simulate"]
@@ -99,8 +118,11 @@ class DatacenterSimulation(ActuatorsMixin):
     policy:
         The scheduling policy under test.
     trace:
-        Workload; consumed fresh (caller should pass ``trace.fresh()`` when
-        reusing a trace across runs — :func:`simulate` does).
+        Workload — a materialized :class:`Trace` or a lazily produced
+        :class:`~repro.workload.stream.JobStream` (see the module
+        docstring for the streaming-mode memory contract); consumed
+        fresh (caller should pass ``trace.fresh()`` when reusing a
+        workload across runs — :func:`simulate` does).
     pm_config:
         λmin/λmax thresholds of the power manager.
     config:
@@ -115,7 +137,7 @@ class DatacenterSimulation(ActuatorsMixin):
         self,
         cluster: ClusterSpec,
         policy: SchedulingPolicy,
-        trace: Trace,
+        trace: Union[Trace, JobStream],
         pm_config: Optional[PowerManagerConfig] = None,
         config: Optional[EngineConfig] = None,
         power_manager: Optional[PowerManager] = None,
@@ -123,6 +145,7 @@ class DatacenterSimulation(ActuatorsMixin):
         self.cluster = cluster
         self.policy = policy
         self.trace = trace
+        self._streaming = isinstance(trace, JobStream)
         self.config = config or EngineConfig()
         # CI guard rail: REPRO_STRICT_INVARIANTS=raise|resync force-enables
         # the strict-invariant oracles for a whole test run without every
@@ -164,6 +187,37 @@ class DatacenterSimulation(ActuatorsMixin):
         self._round_pending = False
         self._active_jobs = 0
         self._arrivals_pending = 0
+
+        #: Distinct host hardware classes (arch, hypervisor, CPU capacity,
+        #: memory) — requirement feasibility is a pure spec predicate, so
+        #: the per-arrival "can any machine ever host this?" check is
+        #: O(classes) (≤ 3 for the paper cluster) instead of O(hosts).
+        self._feasible_classes: Tuple[Tuple[str, str, float, float], ...] = tuple(
+            sorted(
+                {
+                    (s.arch, s.hypervisor, s.cpu_capacity, s.mem_mb)
+                    for s in cluster
+                }
+            )
+        )
+
+        # ---- streaming-mode state ----------------------------------------
+        #: Iterator behind a JobStream workload (None for Trace runs).
+        self._job_iter: Optional[Iterator[Job]] = None
+        #: The one job pulled from the stream whose arrival event has not
+        #: fired yet (counted as pending in the result on horizon overrun).
+        self._pending_arrival: Optional[Job] = None
+        #: Compact per-retired-job statistics (vm id, satisfaction, delay,
+        #: wait) — four scalars per job instead of Job/Vm objects, appended
+        #: in retirement order and re-sorted into arrival order by the
+        #: result builder so every aggregate folds in the same order as a
+        #: materialized run.
+        self._ret_ids = array("q")
+        self._ret_sat = array("d")
+        self._ret_delay = array("d")
+        self._ret_wait = array("d")
+        self._ret_completed = 0
+        self._ret_failed = 0
 
         self.metrics = MetricsCollector(
             self.hosts, record_power_series=self.config.record_power_series
@@ -255,18 +309,29 @@ class DatacenterSimulation(ActuatorsMixin):
         """
         if self._started:
             return self._horizon
-        if len(self.trace) == 0:
-            raise ConfigurationError("cannot simulate an empty trace")
-        last_arrival = 0.0
-        for job in self.trace:
-            self._arrivals_pending += 1
-            self._active_jobs += 1
-            last_arrival = max(last_arrival, job.submit_time)
-            self.sim.at(
-                job.submit_time,
-                lambda j=job: self._on_job_arrival(j),
-                label=f"arrival:{job.job_id}",
-            )
+        if self._streaming:
+            it = iter(self.trace)
+            first = next(it, None)
+            if first is None:
+                raise ConfigurationError("cannot simulate an empty trace")
+            self._job_iter = it
+            self._schedule_arrival(first)
+            # The drain horizon is unknown until the stream runs dry;
+            # _stream_exhausted installs the horizon guard then.
+            last_arrival = math.inf
+        else:
+            if len(self.trace) == 0:
+                raise ConfigurationError("cannot simulate an empty trace")
+            last_arrival = 0.0
+            for job in self.trace:
+                self._arrivals_pending += 1
+                self._active_jobs += 1
+                last_arrival = max(last_arrival, job.submit_time)
+                self.sim.at(
+                    job.submit_time,
+                    lambda j=job: self._on_job_arrival(j),
+                    label=f"arrival:{job.job_id}",
+                )
 
         if self.checkpoints.enabled:
             self.sim.schedule(
@@ -284,13 +349,65 @@ class DatacenterSimulation(ActuatorsMixin):
         self._horizon = last_arrival + self.config.drain_grace_s
         return self._horizon
 
+    # ------------------------------------------------- streaming arrivals
+
+    def _schedule_arrival(self, job: Job) -> None:
+        """Schedule one streamed job's arrival event (chained mode).
+
+        Priority ``-1``: pre-scheduled arrivals hold the smallest event
+        sequence numbers, so among same-time default-priority events they
+        always fire first; the explicit priority reproduces that order
+        for arrivals scheduled mid-run.
+        """
+        self._arrivals_pending += 1
+        self._active_jobs += 1
+        self._pending_arrival = job
+        self.sim.at(
+            job.submit_time,
+            lambda j=job: self._on_stream_arrival(j),
+            priority=-1,
+            label=f"arrival:{job.job_id}",
+        )
+
+    def _on_stream_arrival(self, job: Job) -> None:
+        # Chain the successor BEFORE processing this arrival: the pending
+        # counters must never read "all done" mid-stream, and same-time
+        # successors keep trace order (the chained event's later seq is
+        # tie-broken by the -1 priority ahead of everything else).
+        nxt = next(self._job_iter, None)
+        if nxt is not None:
+            self._schedule_arrival(nxt)
+        else:
+            self._pending_arrival = None
+            self._stream_exhausted(job.submit_time)
+        self._on_job_arrival(job)
+
+    def _stream_exhausted(self, last_submit: float) -> None:
+        """Install the drain-horizon guard once the stream runs dry.
+
+        Mirrors the materialized mode's ``sim.run(until=horizon)``: every
+        event *at* the horizon still fires (the guard's huge priority
+        sorts it last at its timestamp), then the run stops with the
+        clock at the horizon.  In the common full-drain case the last
+        completion stops the loop first and the guard never fires.
+        """
+        self._horizon = last_submit + self.config.drain_grace_s
+        self.sim.at(
+            max(self._horizon, self.sim.now),
+            self.sim.stop,
+            priority=1 << 30,
+            label="horizon",
+        )
+
     def run(self) -> SimulationResult:
         """Execute the whole workload and return the result row."""
         if self._result is not None:
             return self._result
         wall_start = _time.perf_counter()
         horizon = self.start()
-        self.sim.run(until=horizon)
+        # Streaming mode has no horizon until the stream is exhausted;
+        # the guard event installed by _stream_exhausted stops the loop.
+        self.sim.run(until=None if math.isinf(horizon) else horizon)
 
         self._touch_all()
         if self._invariants_enabled:
@@ -309,13 +426,38 @@ class DatacenterSimulation(ActuatorsMixin):
             self.sim.schedule(0.0, self._round, priority=100, label="round")
 
     def _context(self) -> SchedulingContext:
-        placed = tuple(vm for vm in self._live.values() if vm.is_placed)
-        return SchedulingContext(
+        ctx = SchedulingContext(
             now=self.sim.now,
             hosts=self.hosts,
             queued=tuple(self.queue.values()),
-            placed=placed,
+            placed_fn=lambda: (
+                vm for vm in self._live.values() if vm.is_placed
+            ),
+            node_counts=self._node_counts,
         )
+        if self.power_manager.reads_context_vms:
+            # Controllers that inspect the VM views run post-action; the
+            # snapshot must be from round start, so force it now.
+            ctx.placed
+        return ctx
+
+    def _node_counts(self) -> Tuple[int, int]:
+        """Exact (working, online) counts for the λ controller — O(dirty).
+
+        Folds not-yet-swept dirty hosts into the metrics collector's
+        delta-maintained totals first (idempotent — the later ``_refresh``
+        sweep re-folds them as no-ops, and integral sampling only happens
+        there), in the same sorted order the sweep would use, then reads
+        the running totals.  Equals a full host scan by construction:
+        every action and event that can change a host's working/online
+        contribution marks it dirty.
+        """
+        metrics = self.metrics
+        if self._dirty:
+            by_id = self.hosts_by_id
+            for hid in sorted(self._dirty):
+                metrics.host_changed(by_id[hid])
+        return metrics.node_counts()
 
     def _round(self) -> None:
         self._round_pending = False
@@ -350,11 +492,21 @@ class DatacenterSimulation(ActuatorsMixin):
         vm = Vm(job)
         vm.last_progress_t = self.sim.now
         self.vms[vm.vm_id] = vm
-        if not any(h.meets_requirements(job) for h in self.hosts):
+        # Requirement feasibility is spec-only, so checking the distinct
+        # hardware classes (O(3) for the paper cluster) is equivalent to
+        # scanning every host.  Same comparisons as meets_requirements.
+        if not any(
+            job.arch == arch
+            and job.hypervisor == hyp
+            and job.cpu_pct <= cap_cpu
+            and job.mem_mb <= cap_mem
+            for arch, hyp, cap_cpu, cap_mem in self._feasible_classes
+        ):
             # No machine in the datacenter can ever host this job.
             vm.state = VmState.FAILED
             job.state = JobState.FAILED
             self.metrics.counters.incr("unplaceable")
+            self._retire_vm(vm)
             self._job_finished()
             return
         self.queue[vm.vm_id] = vm
@@ -845,7 +997,36 @@ class DatacenterSimulation(ActuatorsMixin):
             detail=f"S={vm.job.satisfaction():.0f}%",
         )
         self._dirty.add(host.host_id)
+        self._retire_vm(vm)
         self._job_finished()
+
+    def _retire_vm(self, vm: Vm) -> None:
+        """Streaming mode: compact a finished VM into flat statistics.
+
+        Records the four scalars the result builder needs (id for
+        arrival-order re-sorting, satisfaction, delay, wait) and prunes
+        the registry, so memory tracks the live set instead of the total
+        job count.  Trace runs keep the full registry (``job_records``
+        and the tests rely on it) — this is a no-op there.
+        """
+        if not self._streaming:
+            return
+        job = vm.job
+        self._ret_ids.append(vm.vm_id)
+        self._ret_sat.append(job.satisfaction())
+        self._ret_delay.append(job.delay_pct())
+        self._ret_wait.append(
+            job.start_time - job.submit_time
+            if job.start_time is not None
+            else math.nan
+        )
+        if job.state is JobState.COMPLETED:
+            self._ret_completed += 1
+        elif job.state is JobState.FAILED:
+            self._ret_failed += 1
+        self.vms.pop(vm.vm_id, None)
+        self._vm_attempts.pop(vm.vm_id, None)
+        self.checkpoints.forget(vm.vm_id)
 
     def _job_finished(self) -> None:
         self._active_jobs -= 1
@@ -946,32 +1127,162 @@ class DatacenterSimulation(ActuatorsMixin):
             self.metrics.resync_from_scan()
             self.metrics.counters.incr("invariant_resyncs")
             self._invariant_resyncs += 1
+        # The score policy's persistent columnar kernel, when present, is
+        # the third piece of incremental state worth an oracle.
+        cache = getattr(self.policy, "_host_cache", None)
+        if (
+            cache is not None
+            and getattr(cache, "is_columnar", False)
+            and cache.matches(self.hosts)
+        ):
+            try:
+                cache.verify_against_hosts()
+            except StateError as exc:
+                if not resync:
+                    raise
+                warnings.warn(
+                    f"t={now:.0f}s: columnar state drift resynced: {exc}",
+                    RuntimeWarning,
+                    stacklevel=2,
+                )
+                cache.resync()
+                self.metrics.counters.incr("invariant_resyncs")
+                self._invariant_resyncs += 1
 
     # --------------------------------------------------------------- result
 
-    def _build_result(self, wall_start: float) -> SimulationResult:
-        jobs = [vm.job for vm in self.vms.values()]
-        # Jobs whose arrival event never fired (horizon overrun) count too.
-        # Keyed on job_id (not vm_id): a Vm constructed with a non-default
-        # vm_id would otherwise duplicate or drop its job's row here.
-        seen = {vm.job.job_id for vm in self.vms.values()}
-        jobs.extend(j for j in self.trace if j.job_id not in seen)
-        sat, delay = aggregate(jobs)
-        waits = [
-            j.start_time - j.submit_time
-            for j in jobs
-            if j.start_time is not None
-        ]
-        if waits:
-            import numpy as _np
+    def _streaming_job_stats(self) -> Tuple[float, float, float, float, int, int, int]:
+        """Fold the compacted per-job statistics into the result scalars.
 
-            mean_wait = float(_np.mean(waits))
-            p95_wait = float(_np.percentile(waits, 95))
+        Bit-identical to the materialized path: retired rows are re-sorted
+        by vm id (= arrival order = the registry's insertion order in a
+        Trace run), live VMs follow interleaved by the same sort, and the
+        never-arrived remainder (pending arrival first, then the drained
+        stream, pulled one job at a time) appends in stream order — so
+        ``np.mean``/``np.percentile`` see the exact sequences a
+        materialized run feeds them.
+        """
+        import numpy as _np
+
+        live = list(self.vms.values())
+        n_live = len(live)
+        ids = _np.concatenate(
+            [
+                _np.asarray(self._ret_ids, dtype=_np.int64),
+                _np.fromiter(
+                    (vm.vm_id for vm in live), dtype=_np.int64, count=n_live
+                ),
+            ]
+        )
+        sats = _np.concatenate(
+            [
+                _np.asarray(self._ret_sat, dtype=_np.float64),
+                _np.fromiter(
+                    (vm.job.satisfaction() for vm in live),
+                    dtype=_np.float64,
+                    count=n_live,
+                ),
+            ]
+        )
+        delays = _np.concatenate(
+            [
+                _np.asarray(self._ret_delay, dtype=_np.float64),
+                _np.fromiter(
+                    (vm.job.delay_pct() for vm in live),
+                    dtype=_np.float64,
+                    count=n_live,
+                ),
+            ]
+        )
+        waits = _np.concatenate(
+            [
+                _np.asarray(self._ret_wait, dtype=_np.float64),
+                _np.fromiter(
+                    (
+                        vm.job.start_time - vm.job.submit_time
+                        if vm.job.start_time is not None
+                        else math.nan
+                        for vm in live
+                    ),
+                    dtype=_np.float64,
+                    count=n_live,
+                ),
+            ]
+        )
+        order = _np.argsort(ids, kind="stable")
+        sats, delays, waits = sats[order], delays[order], waits[order]
+        n_jobs = int(ids.size)
+        n_completed = self._ret_completed
+        n_failed = self._ret_failed + sum(
+            1 for vm in live if vm.job.state is JobState.FAILED
+        )
+
+        # Horizon overrun: jobs whose arrival never fired still count as
+        # pending rows, exactly like a materialized run's trace leftovers.
+        tail_sat: List[float] = []
+        tail_delay: List[float] = []
+        if self._pending_arrival is not None:
+            tail_jobs: Iterator[Job] = iter([self._pending_arrival])
+            if self._job_iter is not None:
+                import itertools
+
+                tail_jobs = itertools.chain(tail_jobs, self._job_iter)
+        else:
+            tail_jobs = self._job_iter or iter(())
+        for job in tail_jobs:
+            tail_sat.append(job.satisfaction())
+            tail_delay.append(job.delay_pct())
+            n_jobs += 1
+        if tail_sat:
+            sats = _np.concatenate([sats, _np.asarray(tail_sat)])
+            delays = _np.concatenate([delays, _np.asarray(tail_delay)])
+
+        sat = float(_np.mean(sats)) if sats.size else 100.0
+        delay = float(_np.mean(delays)) if delays.size else 0.0
+        finite_waits = waits[~_np.isnan(waits)]
+        if finite_waits.size:
+            mean_wait = float(_np.mean(finite_waits))
+            p95_wait = float(_np.percentile(finite_waits, 95))
         else:
             mean_wait = p95_wait = 0.0
+        return sat, delay, mean_wait, p95_wait, n_jobs, n_completed, n_failed
+
+    def _build_result(self, wall_start: float) -> SimulationResult:
+        if self._streaming:
+            (
+                sat,
+                delay,
+                mean_wait,
+                p95_wait,
+                n_jobs,
+                n_completed,
+                n_failed,
+            ) = self._streaming_job_stats()
+        else:
+            jobs = [vm.job for vm in self.vms.values()]
+            # Jobs whose arrival event never fired (horizon overrun) count
+            # too.  Keyed on job_id (not vm_id): a Vm constructed with a
+            # non-default vm_id would otherwise duplicate or drop its
+            # job's row here.
+            seen = {vm.job.job_id for vm in self.vms.values()}
+            jobs.extend(j for j in self.trace if j.job_id not in seen)
+            sat, delay = aggregate(jobs)
+            waits = [
+                j.start_time - j.submit_time
+                for j in jobs
+                if j.start_time is not None
+            ]
+            if waits:
+                import numpy as _np
+
+                mean_wait = float(_np.mean(waits))
+                p95_wait = float(_np.percentile(waits, 95))
+            else:
+                mean_wait = p95_wait = 0.0
+            n_jobs = len(jobs)
+            n_completed = sum(1 for j in jobs if j.state is JobState.COMPLETED)
+            n_failed = sum(1 for j in jobs if j.state is JobState.FAILED)
         counters = self.metrics.counters
-        n_completed = sum(1 for j in jobs if j.state is JobState.COMPLETED)
-        n_failed = sum(1 for j in jobs if j.state is JobState.FAILED)
         reject_reasons = {
             key[len("rejected."):]: count
             for key, count in counters.as_dict().items()
@@ -991,7 +1302,7 @@ class DatacenterSimulation(ActuatorsMixin):
             satisfaction=sat,
             delay_pct=delay,
             migrations=counters["migrations"],
-            n_jobs=len(jobs),
+            n_jobs=n_jobs,
             n_completed=n_completed,
             n_failed=n_failed,
             mean_wait_s=mean_wait,
@@ -1019,11 +1330,15 @@ class DatacenterSimulation(ActuatorsMixin):
 def simulate(
     cluster: ClusterSpec,
     policy: SchedulingPolicy,
-    trace: Trace,
+    trace: Union[Trace, JobStream],
     pm_config: Optional[PowerManagerConfig] = None,
     config: Optional[EngineConfig] = None,
 ) -> SimulationResult:
     """Convenience wrapper: run one simulation on a fresh copy of the trace.
+
+    Accepts a materialized :class:`Trace` or a streaming
+    :class:`~repro.workload.stream.JobStream`; both replay pristinely
+    through ``fresh()``.
 
     Examples
     --------

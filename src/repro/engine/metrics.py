@@ -104,6 +104,18 @@ class MetricsCollector:
             self._reserved += new[2] - old[2]
             self._contrib[host.host_id] = new
 
+    def node_counts(self) -> Tuple[int, int]:
+        """Current exact ``(working, online)`` totals — O(1).
+
+        The λ controller's measurement: callers must first fold any
+        pending dirty hosts through :meth:`host_changed` (the engine's
+        ``_node_counts`` wrapper does) so the totals reflect the live
+        host objects.  Uses the same per-host predicates as
+        :meth:`~repro.scheduling.power_manager.PowerManager.working_count`
+        / ``online_count``, so the counts equal a full scan.
+        """
+        return self._working, self._online
+
     def refresh(self, now: float) -> None:
         """Sample the node-state signals at ``now`` — O(1).
 

@@ -34,6 +34,12 @@ __all__ = ["AdaptivePowerManager"]
 class AdaptivePowerManager(PowerManager):
     """A :class:`PowerManager` whose λmin adapts to SLA pressure.
 
+    ``reads_context_vms`` is set: :meth:`_at_risk` inspects the context's
+    queued/placed VM views, so the engine must materialize the placed
+    snapshot at round start (the controller runs post-action and would
+    otherwise observe this round's placements instead of the state the
+    round opened with).
+
     Parameters
     ----------
     base:
@@ -52,6 +58,8 @@ class AdaptivePowerManager(PowerManager):
     >>> pm.config.lambda_min
     0.3
     """
+
+    reads_context_vms = True
 
     def __init__(
         self,

@@ -12,8 +12,7 @@ before applying it.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
-from typing import Dict, List, Optional, Sequence
+from typing import Callable, List, Optional, Sequence, Tuple
 
 from repro.cluster.host import Host
 from repro.cluster.vm import Vm, VmState
@@ -22,7 +21,6 @@ from repro.scheduling.actions import Action
 __all__ = ["SchedulingContext", "SchedulingPolicy"]
 
 
-@dataclass
 class SchedulingContext:
     """Read-only view handed to policies each scheduling round.
 
@@ -38,12 +36,57 @@ class SchedulingContext:
         VMs waiting in the virtual host, in arrival order.
     placed:
         VMs currently resident on hosts (running, creating or migrating).
+        May be provided lazily through ``placed_fn``: the engine's round
+        builds one context per round, but queue-only policies (and the
+        plain power manager) never look at the placed set, so at 10k
+        hosts the O(live VMs) tuple is only materialized when some
+        consumer actually reads it.  The tuple is built on first access
+        and cached, so every reader sees one consistent snapshot.
+    node_counts:
+        Optional zero-argument callable returning exact
+        ``(working, online)`` node counts.  The engine wires this to the
+        metrics collector's delta-maintained totals so the λ controller's
+        every-round measurement is O(dirty hosts) instead of a scan over
+        the whole machine inventory; hand-built contexts leave it
+        ``None`` and the power manager falls back to scanning ``hosts``.
     """
 
-    now: float
-    hosts: Sequence[Host]
-    queued: Sequence[Vm]
-    placed: Sequence[Vm]
+    __slots__ = ("now", "hosts", "queued", "node_counts", "_placed", "_placed_fn")
+
+    def __init__(
+        self,
+        now: float,
+        hosts: Sequence[Host],
+        queued: Sequence[Vm],
+        placed: Optional[Sequence[Vm]] = None,
+        *,
+        placed_fn: Optional[Callable[[], Sequence[Vm]]] = None,
+        node_counts: Optional[Callable[[], Tuple[int, int]]] = None,
+    ) -> None:
+        self.now = now
+        self.hosts = hosts
+        self.queued = queued
+        self.node_counts = node_counts
+        self._placed_fn = placed_fn
+        if placed is None and placed_fn is None:
+            placed = ()
+        self._placed: Optional[Tuple[Vm, ...]] = (
+            tuple(placed) if placed is not None else None
+        )
+
+    @property
+    def placed(self) -> Tuple[Vm, ...]:
+        """Placed VMs, materialized from ``placed_fn`` on first access."""
+        if self._placed is None:
+            self._placed = tuple(self._placed_fn())
+        return self._placed
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        placed = len(self._placed) if self._placed is not None else "lazy"
+        return (
+            f"SchedulingContext(now={self.now}, hosts={len(self.hosts)}, "
+            f"queued={len(self.queued)}, placed={placed})"
+        )
 
     @property
     def movable(self) -> List[Vm]:

@@ -74,8 +74,22 @@ class PowerManagerConfig:
 class PowerManager:
     """Emits :class:`TurnOn`/:class:`TurnOff` actions after each round."""
 
+    #: Whether :meth:`control` reads ``ctx.queued`` / ``ctx.placed``.
+    #: The engine materializes the context's placed-VM snapshot eagerly
+    #: (pre-action, as every consumer expects) only when this is set;
+    #: the base controller works purely from node counts and host state,
+    #: so queue-only rounds never pay for the snapshot.  Subclasses that
+    #: override :meth:`control` to inspect the VM views must set it.
+    reads_context_vms: bool = False
+
     def __init__(self, config: PowerManagerConfig | None = None) -> None:
         self.config = config or PowerManagerConfig()
+        # Boot preference is a pure function of the static host specs, so
+        # the full ranking is computed once per host list and boot rounds
+        # just scan it for OFF machines — sorting every OFF host on every
+        # boot round is O(M log M) of pure-Python key calls at 10k hosts.
+        self._boot_order: List[Host] = []
+        self._boot_order_src: object = None
 
     # ------------------------------------------------------------- measures
 
@@ -101,9 +115,15 @@ class PowerManager:
     def control(self, ctx: SchedulingContext, policy: SchedulingPolicy) -> List[Action]:
         """Compute turn-on/off actions for the current state."""
         cfg = self.config
-        hosts = list(ctx.hosts)
-        working = self.working_count(hosts)
-        online = self.online_count(hosts)
+        hosts = ctx.hosts
+        # The engine supplies exact delta-maintained counts (O(dirty
+        # hosts) per round); hand-built contexts fall back to a scan.
+        counts = getattr(ctx, "node_counts", None)
+        if counts is not None:
+            working, online = counts()
+        else:
+            working = self.working_count(hosts)
+            online = self.online_count(hosts)
         actions: List[Action] = []
 
         # ">=" matters at the λmax = 100 % end of the paper's Fig. 2 axis:
@@ -121,13 +141,14 @@ class PowerManager:
             need = max(target_online - online, 1)
             need = min(need, cfg.max_boots_per_round)
             # Quarantined machines sit out the boot preference until the
-            # supervisor clears them.
-            candidates = [
-                h for h in hosts if h.state is HostState.OFF and not h.quarantined
-            ]
-            candidates.sort(key=self._boot_preference)
-            for h in candidates[:need]:
-                actions.append(TurnOn(host_id=h.host_id))
+            # supervisor clears them.  Filtering the precomputed ranking
+            # preserves exactly the order of sorting the filtered list:
+            # the sort is stable and its key ignores the dynamic state.
+            for h in self._boot_ranking(hosts):
+                if h.state is HostState.OFF and not h.quarantined:
+                    actions.append(TurnOn(host_id=h.host_id))
+                    if len(actions) == need:
+                        break
             return actions
 
         if working / online < cfg.lambda_min:
@@ -144,6 +165,15 @@ class PowerManager:
             for h in ranked[:surplus]:
                 actions.append(TurnOff(host_id=h.host_id))
         return actions
+
+    def _boot_ranking(self, hosts: Sequence[Host]) -> List[Host]:
+        """All hosts in boot-preference order, cached per host list."""
+        if hosts is not self._boot_order_src or len(hosts) != len(
+            self._boot_order
+        ):
+            self._boot_order = sorted(hosts, key=self._boot_preference)
+            self._boot_order_src = hosts
+        return self._boot_order
 
     @staticmethod
     def _boot_preference(host: Host) -> tuple:

@@ -1,0 +1,305 @@
+"""Persistent columnar cluster state for the score kernel.
+
+:class:`ColumnarClusterState` extends the per-simulation
+:class:`~repro.scheduling.score.matrix.HostArrayCache` (static host specs)
+with the two remaining sources of per-round O(hosts + VMs) Python work in
+:class:`~repro.scheduling.score.matrix.ScoreMatrixBuilder`:
+
+* **Dynamic host columns** (``res_cpu``, ``res_mem``, ``nvms``, ``conc``,
+  ``avail``) live in persistent numpy arrays that are *patched* from a
+  dirty-host set instead of re-listed from Host objects.  The state
+  registers a dirty sink on every host (:meth:`Host.add_dirty_sink`);
+  every host mutation — residency, reservations, operations, lifecycle
+  state, quarantine, aggregate resyncs — marks the host id, and
+  :meth:`sync` refreshes exactly those rows.  The refreshed values come
+  from the *same* ``Host`` reads the legacy per-round list comprehensions
+  performed (``cpu_reserved()``, ``mem_reserved()``, ``n_vms``,
+  ``concurrency_cost``, ``is_available and not quarantined``), so a
+  synced array is bit-identical to a from-scratch rebuild — the
+  :meth:`verify_against_hosts` oracle checks exactly that, and the
+  engine's strict-invariant mode calls it every verification event.
+
+* **Static per-VM attributes** (``cpu_req``/``mem_req`` as last seen,
+  ``fault_tolerance``, and the P_req feasibility row) live in a slot
+  registry keyed by ``vm_id``.  A slot is filled once per VM lifetime
+  (and re-filled only when dynamic SLA enforcement inflates the
+  requirement in place); completed/failed VMs are swept out lazily and
+  their slots recycled through a free list, so the registry's footprint
+  tracks the *live* VM population, not the cumulative job count.
+
+The P_req matrix is factorized through **host classes**: hosts sharing
+``(arch, hypervisor, cpu_capacity, mem_mb)`` are interchangeable for
+feasibility, so each VM slot stores one boolean per class (typically 3
+classes for the paper's datacenter) and the per-round ``(M, N)`` matrix is
+a numpy gather instead of four O(M·N) string/float broadcast comparisons.
+The per-class booleans evaluate the identical expressions the legacy
+broadcast did (string equality, ``req <= cap + 1e-9``), so the gathered
+matrix is bit-for-bit the legacy one.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Sequence, Tuple
+
+import numpy as np
+
+from repro.cluster.host import Host
+from repro.cluster.vm import Vm, VmState
+from repro.errors import SchedulingError, StateError
+from repro.scheduling.score.matrix import HostArrayCache
+
+__all__ = ["ColumnarClusterState"]
+
+#: Sweep the VM registry for retired slots once it exceeds this size and
+#: has doubled since the previous sweep (amortized O(1) per column).
+_MIN_SWEEP = 1024
+
+
+class ColumnarClusterState(HostArrayCache):
+    """Persistent host *and* VM arrays behind the score-matrix builder.
+
+    Build one per (policy, host population) — `ScoreBasedPolicy` does this
+    on first use and reuses it for the whole simulation.  Not thread-safe;
+    observes hosts through the dirty-sink protocol, so any host mutation
+    that bypasses the instrumented ``Host`` mutators would go unseen (the
+    engine has no such path; :meth:`verify_against_hosts` exists to catch
+    one if it ever appears).
+    """
+
+    __slots__ = (
+        "dirty",
+        "res_cpu",
+        "res_mem",
+        "nvms",
+        "conc",
+        "avail",
+        "class_of_host",
+        "_class_arch",
+        "_class_hyp",
+        "_class_cap_cpu",
+        "_class_cap_mem",
+        "_slot_of",
+        "_vm_of",
+        "_free",
+        "_n_slots",
+        "v_cpu",
+        "v_mem",
+        "v_ftol",
+        "v_feas",
+        "_next_sweep",
+    )
+
+    #: Flag `ScoreMatrixBuilder` checks to pick the columnar fast path
+    #: (duck-typed to keep the import graph acyclic).
+    is_columnar = True
+
+    def __init__(self, hosts: Sequence[Host]) -> None:
+        super().__init__(hosts)
+        n = len(self.hosts)
+
+        # ---- host classes (P_req factorization) -------------------------
+        keys: Dict[tuple, int] = {}
+        class_of = np.empty(n, dtype=int)
+        arch: List[str] = []
+        hyp: List[str] = []
+        ccpu: List[float] = []
+        cmem: List[float] = []
+        for i, h in enumerate(self.hosts):
+            key = (h.spec.arch, h.spec.hypervisor, h.spec.cpu_capacity, h.spec.mem_mb)
+            cls = keys.get(key)
+            if cls is None:
+                cls = keys[key] = len(keys)
+                arch.append(h.spec.arch)
+                hyp.append(h.spec.hypervisor)
+                ccpu.append(float(h.spec.cpu_capacity))
+                cmem.append(float(h.spec.mem_mb))
+            class_of[i] = cls
+        self.class_of_host = class_of
+        self._class_arch = arch
+        self._class_hyp = hyp
+        self._class_cap_cpu = ccpu
+        self._class_cap_mem = cmem
+
+        # ---- dynamic host arrays ----------------------------------------
+        self.dirty: set = set()
+        self.res_cpu = np.empty(n, dtype=float)
+        self.res_mem = np.empty(n, dtype=float)
+        self.nvms = np.empty(n, dtype=float)
+        self.conc = np.empty(n, dtype=float)
+        self.avail = np.empty(n, dtype=bool)
+        for i, h in enumerate(self.hosts):
+            self._refresh_host(i, h)
+        for h in self.hosts:
+            h.add_dirty_sink(self.dirty)
+
+        # ---- VM slot registry -------------------------------------------
+        self._slot_of: Dict[int, int] = {}
+        self._vm_of: Dict[int, Vm] = {}
+        self._free: List[int] = []
+        self._n_slots = 0
+        cap = 64
+        n_classes = len(arch)
+        self.v_cpu = np.empty(cap, dtype=float)
+        self.v_mem = np.empty(cap, dtype=float)
+        self.v_ftol = np.empty(cap, dtype=float)
+        self.v_feas = np.empty((cap, n_classes), dtype=bool)
+        self._next_sweep = _MIN_SWEEP
+
+    # ------------------------------------------------------------- host side
+
+    def _refresh_host(self, i: int, h: Host) -> None:
+        self.res_cpu[i] = h.cpu_reserved()
+        self.res_mem[i] = h.mem_reserved()
+        self.nvms[i] = h.n_vms
+        self.conc[i] = h.concurrency_cost
+        self.avail[i] = h.is_available and not h.quarantined
+
+    def sync(self) -> None:
+        """Patch the dynamic host arrays from the dirty set (O(dirty))."""
+        dirty = self.dirty
+        if not dirty:
+            return
+        index = self.host_index
+        hosts = self.hosts
+        for hid in dirty:
+            i = index[hid]
+            self._refresh_host(i, hosts[i])
+        dirty.clear()
+
+    def verify_against_hosts(self) -> bool:
+        """Oracle: every dynamic array entry equals a fresh Host read.
+
+        ``sync()`` first, then exact comparison; raises
+        :class:`~repro.errors.StateError` on any mismatch.  Used by the
+        engine's strict-invariant mode and the property tests.
+        """
+        self.sync()
+        for i, h in enumerate(self.hosts):
+            expected = (
+                h.cpu_reserved(),
+                h.mem_reserved(),
+                float(h.n_vms),
+                h.concurrency_cost,
+                h.is_available and not h.quarantined,
+            )
+            got = (
+                self.res_cpu[i],
+                self.res_mem[i],
+                self.nvms[i],
+                self.conc[i],
+                bool(self.avail[i]),
+            )
+            for label, e, g in zip(
+                ("res_cpu", "res_mem", "nvms", "conc", "avail"), expected, got
+            ):
+                if e != g:
+                    raise StateError(
+                        f"columnar state drift on host {h.host_id}: "
+                        f"{label} cached {g!r} != fresh {e!r}"
+                    )
+        return True
+
+    def resync(self) -> None:
+        """Full refresh of the dynamic host arrays (recovery path)."""
+        for i, h in enumerate(self.hosts):
+            self._refresh_host(i, h)
+        self.dirty.clear()
+
+    # --------------------------------------------------------------- vm side
+
+    def _class_row(self, vm: Vm) -> np.ndarray:
+        job = vm.job
+        row = np.empty(len(self._class_arch), dtype=bool)
+        for c in range(len(self._class_arch)):
+            row[c] = (
+                self._class_arch[c] == job.arch
+                and self._class_hyp[c] == job.hypervisor
+                and vm.cpu_req <= self._class_cap_cpu[c] + 1e-9
+                and vm.mem_req <= self._class_cap_mem[c] + 1e-9
+            )
+        return row
+
+    def _grow(self) -> None:
+        cap = 2 * len(self.v_cpu)
+        for name in ("v_cpu", "v_mem", "v_ftol"):
+            old = getattr(self, name)
+            new = np.empty(cap, dtype=old.dtype)
+            new[: len(old)] = old
+            setattr(self, name, new)
+        old2 = self.v_feas
+        new2 = np.empty((cap, old2.shape[1]), dtype=bool)
+        new2[: len(old2)] = old2
+        self.v_feas = new2
+
+    def _fill_slot(self, slot: int, vm: Vm) -> None:
+        self.v_cpu[slot] = vm.cpu_req
+        self.v_mem[slot] = vm.mem_req
+        self.v_ftol[slot] = vm.job.fault_tolerance
+        self.v_feas[slot] = self._class_row(vm)
+
+    def _ensure_slot(self, vm: Vm) -> int:
+        slot = self._slot_of.get(vm.vm_id)
+        if slot is None:
+            if self._free:
+                slot = self._free.pop()
+            else:
+                slot = self._n_slots
+                if slot == len(self.v_cpu):
+                    self._grow()
+                self._n_slots += 1
+            self._slot_of[vm.vm_id] = slot
+            self._vm_of[vm.vm_id] = vm
+            self._fill_slot(slot, vm)
+        elif self.v_cpu[slot] != vm.cpu_req or self.v_mem[slot] != vm.mem_req:
+            # Dynamic SLA enforcement inflated the requirement in place.
+            self._fill_slot(slot, vm)
+        return slot
+
+    def _maybe_sweep(self) -> None:
+        if len(self._slot_of) < self._next_sweep:
+            return
+        retired = [vm_id for vm_id, vm in self._vm_of.items() if not vm.is_active]
+        for vm_id in retired:
+            self._free.append(self._slot_of.pop(vm_id))
+            del self._vm_of[vm_id]
+        self._next_sweep = max(_MIN_SWEEP, 2 * len(self._slot_of))
+
+    @property
+    def registry_size(self) -> int:
+        """Live slot count (diagnostics; tracks live VMs, not total jobs)."""
+        return len(self._slot_of)
+
+    # ---------------------------------------------------------- round access
+
+    def prepare_columns(
+        self, columns: Sequence[Vm], now: float
+    ) -> Tuple[np.ndarray, np.ndarray, np.ndarray, np.ndarray]:
+        """Single per-column pass: slots plus the per-round VM vectors.
+
+        Returns ``(slots, cur, is_queued, tr)``; the caller gathers the
+        static vectors (``v_cpu[slots]`` …) and :meth:`feasibility`.
+        Raises like the legacy builder on in-operation columns.
+        """
+        self._maybe_sweep()
+        n = len(columns)
+        slots = np.empty(n, dtype=int)
+        cur = np.empty(n, dtype=int)
+        is_queued = np.empty(n, dtype=bool)
+        tr = np.empty(n, dtype=float)
+        index = self.host_index
+        for j, vm in enumerate(columns):
+            if vm.in_operation:
+                raise SchedulingError(
+                    f"vm {vm.vm_id} has an operation in flight and cannot be a column"
+                )
+            slots[j] = self._ensure_slot(vm)
+            cur[j] = index.get(vm.host_id, -1) if vm.is_placed else -1
+            is_queued[j] = vm.state is VmState.QUEUED
+            tr[j] = vm.remaining_user_time(now)
+        return slots, cur, is_queued, tr
+
+    def feasibility(self, slots: np.ndarray) -> np.ndarray:
+        """The ``(M, N)`` P_req matrix for the given column slots."""
+        if not len(slots):
+            return np.zeros((len(self.hosts), 0), dtype=bool)
+        return self.v_feas[slots].T[self.class_of_host]

@@ -87,10 +87,16 @@ class HostArrayCache:
         "rel",
         "arch",
         "hyp",
+        "_last_match",
     )
 
     def __init__(self, hosts: Sequence[Host]) -> None:
         self.hosts = list(hosts)
+        #: Last *sequence object* that passed :meth:`matches` — the engine
+        #: hands the same list every round, so after one element-wise
+        #: check all later calls are an O(1) identity test (at 10k hosts
+        #: the per-round O(M) scan was ~half the simulation).
+        self._last_match: object = hosts
         self.host_index = {h.host_id: i for i, h in enumerate(self.hosts)}
         self.cap_cpu = np.array([h.spec.cpu_capacity for h in self.hosts])
         self.cap_mem = np.array([h.spec.mem_mb for h in self.hosts])
@@ -100,13 +106,20 @@ class HostArrayCache:
         self.arch = np.array([h.spec.arch for h in self.hosts])
         self.hyp = np.array([h.spec.hypervisor for h in self.hosts])
 
+    #: True on :class:`~repro.scheduling.score.columnar.ColumnarClusterState`
+    #: — the builder's duck-typed switch for the persistent fast path.
+    is_columnar = False
+
     def matches(self, hosts: Sequence[Host]) -> bool:
         """Whether this cache was built from exactly these host objects."""
-        if hosts is self.hosts:
+        if hosts is self.hosts or hosts is self._last_match:
             return True
         if len(hosts) != len(self.hosts):
             return False
-        return all(a is b for a, b in zip(hosts, self.hosts))
+        if all(a is b for a, b in zip(hosts, self.hosts)):
+            self._last_match = hosts
+            return True
+        return False
 
 
 class ScoreMatrixBuilder:
@@ -147,6 +160,10 @@ class ScoreMatrixBuilder:
     ) -> None:
         if host_cache is None or not host_cache.matches(hosts):
             host_cache = HostArrayCache(hosts)
+        # Columnar fast path: a ColumnarClusterState (duck-typed via the
+        # ``is_columnar`` flag to keep the import graph acyclic) carries
+        # persistent dynamic host arrays and the per-VM slot registry.
+        columnar = host_cache if host_cache.is_columnar else None
         self.host_cache = host_cache
         self.hosts = host_cache.hosts
         self.columns = list(columns)
@@ -155,31 +172,35 @@ class ScoreMatrixBuilder:
         self.n_rows = len(self.hosts)
         self.n_cols = len(self.columns)
 
-        for vm in self.columns:
-            if vm.in_operation:
-                raise SchedulingError(
-                    f"vm {vm.vm_id} has an operation in flight and cannot be a column"
-                )
-
         host_index = host_cache.host_index
 
         # ---- host-side arrays -------------------------------------------
         # Static arrays come from the per-simulation cache; dynamic state
         # (availability, occupancy, concurrency, in-round pending costs)
-        # is rebuilt per round from the hosts' O(1) occupancy aggregates.
-        # Quarantined hosts (supervisor exclusion) take no new columns;
-        # their residents' current cells go infinite, which prices them at
-        # queue_cost and lets the hill climber drain the machine.
-        self.avail = np.array(
-            [h.is_available and not h.quarantined for h in self.hosts],
-            dtype=bool,
-        )
+        # comes from the columnar state's O(dirty) sync when available,
+        # else is rebuilt per round from the hosts' O(1) occupancy
+        # aggregates.  Quarantined hosts (supervisor exclusion) take no new
+        # columns; their residents' current cells go infinite, which prices
+        # them at queue_cost and lets the hill climber drain the machine.
         self.cap_cpu = host_cache.cap_cpu
         self.cap_mem = host_cache.cap_mem
-        self.res_cpu = np.array([h.cpu_reserved() for h in self.hosts])
-        self.res_mem = np.array([h.mem_reserved() for h in self.hosts])
-        self.nvms = np.array([h.n_vms for h in self.hosts], dtype=float)
-        self.conc = np.array([h.concurrency_cost for h in self.hosts])
+        if columnar is not None:
+            columnar.sync()
+            # Copies: apply_move mutates these hypothetically per round.
+            self.avail = columnar.avail.copy()
+            self.res_cpu = columnar.res_cpu.copy()
+            self.res_mem = columnar.res_mem.copy()
+            self.nvms = columnar.nvms.copy()
+            self.conc = columnar.conc.copy()
+        else:
+            self.avail = np.array(
+                [h.is_available and not h.quarantined for h in self.hosts],
+                dtype=bool,
+            )
+            self.res_cpu = np.array([h.cpu_reserved() for h in self.hosts])
+            self.res_mem = np.array([h.mem_reserved() for h in self.hosts])
+            self.nvms = np.array([h.n_vms for h in self.hosts], dtype=float)
+            self.conc = np.array([h.concurrency_cost for h in self.hosts])
         self.pending = np.zeros(self.n_rows)
         self.cc = host_cache.cc
         self.cm = host_cache.cm
@@ -190,22 +211,50 @@ class ScoreMatrixBuilder:
         )
 
         # ---- vm-side arrays ----------------------------------------------
-        self.vcpu = np.array([vm.cpu_req for vm in self.columns])
-        self.vmem = np.array([vm.mem_req for vm in self.columns])
-        self.cur = np.array(
-            [
-                host_index.get(vm.host_id, -1) if vm.is_placed else -1
-                for vm in self.columns
-            ],
-            dtype=int,
-        )
-        self.is_queued = np.array(
-            [vm.state is VmState.QUEUED for vm in self.columns], dtype=bool
-        )
-        self.tr = np.array(
-            [vm.remaining_user_time(self.now) for vm in self.columns]
-        )
-        self.ftol = np.array([vm.job.fault_tolerance for vm in self.columns])
+        if columnar is not None:
+            slots, self.cur, self.is_queued, self.tr = columnar.prepare_columns(
+                self.columns, self.now
+            )
+            self.vcpu = columnar.v_cpu[slots]
+            self.vmem = columnar.v_mem[slots]
+            self.ftol = columnar.v_ftol[slots]
+            self.req_ok = columnar.feasibility(slots)
+        else:
+            for vm in self.columns:
+                if vm.in_operation:
+                    raise SchedulingError(
+                        f"vm {vm.vm_id} has an operation in flight and cannot be a column"
+                    )
+            self.vcpu = np.array([vm.cpu_req for vm in self.columns])
+            self.vmem = np.array([vm.mem_req for vm in self.columns])
+            self.cur = np.array(
+                [
+                    host_index.get(vm.host_id, -1) if vm.is_placed else -1
+                    for vm in self.columns
+                ],
+                dtype=int,
+            )
+            self.is_queued = np.array(
+                [vm.state is VmState.QUEUED for vm in self.columns], dtype=bool
+            )
+            self.tr = np.array(
+                [vm.remaining_user_time(self.now) for vm in self.columns]
+            )
+            self.ftol = np.array([vm.job.fault_tolerance for vm in self.columns])
+            # Requirement feasibility is string-based and static per round.
+            host_arch = host_cache.arch
+            host_hyp = host_cache.hyp
+            vm_arch = np.array([vm.job.arch for vm in self.columns])
+            vm_hyp = np.array([vm.job.hypervisor for vm in self.columns])
+            if self.n_cols:
+                self.req_ok = (
+                    (host_arch[:, None] == vm_arch[None, :])
+                    & (host_hyp[:, None] == vm_hyp[None, :])
+                    & (self.vcpu[None, :] <= self.cap_cpu[:, None] + 1e-9)
+                    & (self.vmem[None, :] <= self.cap_mem[:, None] + 1e-9)
+                )
+            else:
+                self.req_ok = np.zeros((self.n_rows, 0), dtype=bool)
         if config.enable_sla:
             if fulfillments is None:
                 raise SchedulingError("enable_sla requires a fulfillments map")
@@ -214,21 +263,6 @@ class ScoreMatrixBuilder:
             )
         else:
             self.fulf = np.ones(self.n_cols)
-
-        # Requirement feasibility is string-based and static for the round.
-        host_arch = host_cache.arch
-        host_hyp = host_cache.hyp
-        vm_arch = np.array([vm.job.arch for vm in self.columns])
-        vm_hyp = np.array([vm.job.hypervisor for vm in self.columns])
-        if self.n_cols:
-            self.req_ok = (
-                (host_arch[:, None] == vm_arch[None, :])
-                & (host_hyp[:, None] == vm_hyp[None, :])
-                & (self.vcpu[None, :] <= self.cap_cpu[:, None] + 1e-9)
-                & (self.vmem[None, :] <= self.cap_mem[:, None] + 1e-9)
-            )
-        else:
-            self.req_ok = np.zeros((self.n_rows, 0), dtype=bool)
 
         self.frozen = np.zeros(self.n_cols, dtype=bool)
         # The migration penalty depends only on static quantities (T_r at
@@ -241,9 +275,18 @@ class ScoreMatrixBuilder:
             )
         else:
             self._mig_pen = np.zeros((self.n_rows, 0))
+        # Unavailable rows can never hold a finite cell (``feasible``
+        # carries ``avail``), so the build scores only the available rows
+        # and leaves the rest at the +inf they would compute to anyway.
+        # Under the λ power manager most of a big datacenter is off, and
+        # this turns the per-round build from O(M×N) into O(online×N).
+        self.active_rows = np.nonzero(self.avail)[0]
         self.scores = np.full((self.n_rows, self.n_cols), INF)
-        if self.n_cols:
-            self.scores[:] = self._score_rows(np.arange(self.n_rows))
+        if self.n_cols and self.active_rows.size:
+            if self.active_rows.size == self.n_rows:
+                self.scores[:] = self._score_rows(None)
+            else:
+                self.scores[self.active_rows] = self._score_rows(self.active_rows)
 
         # ---- incremental caches ------------------------------------------
         self._cur_costs = self._compute_current_costs()
@@ -254,41 +297,54 @@ class ScoreMatrixBuilder:
 
     # ----------------------------------------------------------------- math
 
-    def _score_rows(self, rows: np.ndarray) -> np.ndarray:
-        """Compute score cells for the given host rows, all columns."""
+    def _score_rows(self, rows: Optional[np.ndarray]) -> np.ndarray:
+        """Compute score cells for the given host rows, all columns.
+
+        ``rows=None`` means *all* rows (the full build) and skips the
+        fancy-indexing copies — ``a[arange(M)]`` copies every host array
+        ~10 times per round, which is real money at 10k hosts.  The view
+        path performs the identical elementwise float operations, so the
+        cells stay bit-identical.
+        """
         cfg = self.config
-        R = np.asarray(rows, dtype=int)
+        if rows is None:
+            R = np.arange(self.n_rows)
+            take = lambda a: a  # noqa: E731 - trivial view selector
+        else:
+            R = np.asarray(rows, dtype=int)
+            take = lambda a: a[R]  # noqa: E731
         on = self.cur[None, :] == R[:, None]
 
         add_cpu = np.where(on, 0.0, self.vcpu[None, :])
         add_mem = np.where(on, 0.0, self.vmem[None, :])
         occ_after = np.maximum(
-            (self.res_cpu[R][:, None] + add_cpu) / self.cap_cpu[R][:, None],
-            (self.res_mem[R][:, None] + add_mem) / self.cap_mem[R][:, None],
+            (take(self.res_cpu)[:, None] + add_cpu) / take(self.cap_cpu)[:, None],
+            (take(self.res_mem)[:, None] + add_mem) / take(self.cap_mem)[:, None],
         )
         # P_pwr uses the host's occupation *without* the tentative VM —
         # the paper's §III-A-4 defines "O(h, vm) = occupation of h" (no
         # allocation), unlike P_res's "occupation of h allocating vm".
         occ_now = np.maximum(
-            self.res_cpu[R] / self.cap_cpu[R], self.res_mem[R] / self.cap_mem[R]
+            take(self.res_cpu) / take(self.cap_cpu),
+            take(self.res_mem) / take(self.cap_mem),
         )[:, None]
 
         feasible = (
-            self.req_ok[R]
-            & self.avail[R][:, None]
+            take(self.req_ok)
+            & take(self.avail)[:, None]
             & (occ_after <= 1.0 + 1e-9)
         )
 
         s = np.zeros((len(R), self.n_cols))
         if cfg.enable_virt:
-            migration = self._mig_pen[R]
-            creation = np.broadcast_to(self.cc[R][:, None], migration.shape)
+            migration = take(self._mig_pen)
+            creation = np.broadcast_to(take(self.cc)[:, None], migration.shape)
             s += np.where(on, 0.0, np.where(self.is_queued[None, :], creation, migration))
         if cfg.enable_conc:
-            load = (self.conc + self.pending)[R][:, None]
+            load = take(self.conc + self.pending)[:, None]
             s += np.where(on, 0.0, load)
         if cfg.enable_pwr:
-            t_empty = (self.nvms[R][:, None] <= cfg.th_empty).astype(float)
+            t_empty = (take(self.nvms)[:, None] <= cfg.th_empty).astype(float)
             s += t_empty * cfg.c_empty - occ_now * cfg.c_fill
         if cfg.enable_sla:
             viol = on & (self.fulf[None, :] < 1.0)
@@ -296,7 +352,7 @@ class ScoreMatrixBuilder:
             s += np.where(viol, cfg.c_sla, 0.0)
             s = np.where(hard, INF, s)
         if cfg.enable_fault:
-            s += ((1.0 - self.rel[R])[:, None] - self.ftol[None, :]) * cfg.c_fail
+            s += ((1.0 - take(self.rel))[:, None] - self.ftol[None, :]) * cfg.c_fail
 
         return np.where(feasible, s, INF)
 
@@ -345,6 +401,48 @@ class ScoreMatrixBuilder:
 
     # -------------------------------------------------------------- caches
 
+    def _soft_current_cost(self, r: int, j: int) -> Optional[float]:
+        """Score of column ``j``'s own cell with the *soft* SLA penalty.
+
+        ``r`` must be ``cur[j]``.  Returns ``None`` when the cell is
+        genuinely infeasible for reasons other than the hard-SLA promotion
+        (host unavailable, P_req failed, occupation past 100 %) — those
+        VMs are forced out and keep the queue_cost pricing.  Otherwise the
+        returned value replays ``_score_row``'s float operations for an
+        "on" cell (where P_virt and P_conc contribute exactly 0.0) with
+        ``c_sla`` in place of the hard infinity, so it is bit-identical to
+        the score the cell would carry if ``fulf`` were above ``th_sla``.
+        """
+        cfg = self.config
+        if not self.avail[r] or not self.req_ok[r, j]:
+            return None
+        occ_now = max(
+            self.res_cpu[r] / self.cap_cpu[r], self.res_mem[r] / self.cap_mem[r]
+        )
+        if not occ_now <= 1.0 + 1e-9:
+            return None
+        s = 0.0
+        if cfg.enable_pwr:
+            t_empty = 1.0 if self.nvms[r] <= cfg.th_empty else 0.0
+            s += t_empty * cfg.c_empty - occ_now * cfg.c_fill
+        if cfg.enable_sla and self.fulf[j] < 1.0:
+            s += cfg.c_sla
+        if cfg.enable_fault:
+            s += ((1.0 - self.rel[r]) - self.ftol[j]) * cfg.c_fail
+        return float(s)
+
+    def _reprice_infinite(self, cols: np.ndarray, costs: np.ndarray) -> None:
+        """Apply the ``reprice_hard_sla`` fix to columns priced at INF.
+
+        ``cols`` are placed columns whose current cell is infinite and
+        ``costs`` their (queue_cost-initialized) cost slots, updated in
+        place where the soft pricing applies.
+        """
+        for k, j in enumerate(cols):
+            soft = self._soft_current_cost(int(self.cur[j]), int(j))
+            if soft is not None:
+                costs[k] = soft
+
     def _compute_current_costs(self) -> np.ndarray:
         """From-scratch per-column current costs (cache initialization)."""
         costs = np.full(self.n_cols, self.config.queue_cost)
@@ -353,6 +451,11 @@ class ScoreMatrixBuilder:
             vals = self.scores[self.cur[placed], placed]
             finite = np.isfinite(vals)
             costs[placed[finite]] = vals[finite]
+            if self.config.reprice_hard_sla and not finite.all():
+                bad = placed[~finite]
+                sub = costs[bad]
+                self._reprice_infinite(bad, sub)
+                costs[bad] = sub
         return costs
 
     def _refresh_col_minima(self, cols: np.ndarray) -> None:
@@ -366,10 +469,23 @@ class ScoreMatrixBuilder:
             self._col_min_val[dead] = INF
             self._col_min_row[dead] = 0
         if live.size:
-            sub = self.scores[:, live] - self._cur_costs[live][None, :]
-            rows = np.argmin(sub, axis=0)
-            self._col_min_row[live] = rows
-            self._col_min_val[live] = sub[rows, np.arange(len(live))]
+            # Only available rows can hold a finite diff, so the argmin
+            # scans those; on an all-∞ column the cached row is arbitrary
+            # (best_move never surfaces a row for a non-finite best and
+            # apply_move's take/rescan rules are inert at +inf).
+            act = self.active_rows
+            if act.size == 0:
+                self._col_min_val[live] = INF
+                self._col_min_row[live] = 0
+                return
+            if act.size == self.n_rows:
+                sub = self.scores[:, live]
+            else:
+                sub = self.scores[np.ix_(act, live)]
+            sub = sub - self._cur_costs[live][None, :]
+            k = np.argmin(sub, axis=0)
+            self._col_min_row[live] = act[k]
+            self._col_min_val[live] = sub[k, np.arange(len(live))]
 
     # ------------------------------------------------------------ interface
 
@@ -377,9 +493,21 @@ class ScoreMatrixBuilder:
         """Per-column cost of the status quo.
 
         Queued VMs sit on the virtual host at ``queue_cost``; placed VMs
-        cost their current cell.  An infinite current cell (e.g. an SLA
-        hard-violation, or an occupation pushed over 100 % by requirement
-        inflation) also maps to ``queue_cost``: the VM urgently wants out.
+        cost their current cell.  An infinite current cell whose VM is
+        *forced* out (host unavailable/quarantined, requirements no longer
+        met, occupation pushed over 100 % by requirement inflation) also
+        maps to ``queue_cost``: the VM urgently wants out and any feasible
+        cell is an improvement.
+
+        A hard-SLA promotion (``fulf <= th_sla`` on an otherwise feasible
+        placement) historically got the same queue_cost pricing, which
+        made the climber migrate the VM to *any* feasible host every
+        consolidation round even though fulfilment follows the (inflated)
+        requirement, not the host — pure migration churn.  With
+        ``config.reprice_hard_sla`` those columns are priced at their soft
+        (``c_sla``) score instead, so they move only for genuine gains;
+        the legacy pricing remains the default because the committed
+        macro baselines were recorded with it.
         """
         return self._cur_costs.copy()
 
@@ -456,7 +584,13 @@ class ScoreMatrixBuilder:
         homed = np.nonzero(homed)[0]
         if homed.size:
             vals = self.scores[self.cur[homed], homed]
-            new_costs = np.where(np.isfinite(vals), vals, self.config.queue_cost)
+            finite = np.isfinite(vals)
+            new_costs = np.where(finite, vals, self.config.queue_cost)
+            if self.config.reprice_hard_sla and not finite.all():
+                bad = np.nonzero(~finite)[0]
+                sub = new_costs[bad]
+                self._reprice_infinite(homed[bad], sub)
+                new_costs[bad] = sub
             # (+inf cached minima absorb the shift: inf + finite == inf.)
             self._col_min_val[homed] += self._cur_costs[homed] - new_costs
             self._cur_costs[homed] = new_costs

@@ -26,6 +26,7 @@ from repro.cluster.host import Host
 from repro.cluster.vm import Vm, VmState
 from repro.scheduling.actions import Action, Migrate, Place
 from repro.scheduling.base import SchedulingContext, SchedulingPolicy
+from repro.scheduling.score.columnar import ColumnarClusterState
 from repro.scheduling.score.config import ScoreConfig
 from repro.scheduling.score.matrix import HostArrayCache, ScoreMatrixBuilder
 from repro.scheduling.score.solver import hill_climb
@@ -60,11 +61,18 @@ class ScoreBasedPolicy(SchedulingPolicy):
         name: Optional[str] = None,
         solver: str = "hill_climb",
         solver_seed: int = 0,
+        use_columnar: bool = True,
     ) -> None:
         self.config = config or ScoreConfig.sb()
         self.supports_migration = self.config.allow_migration
         self.solver = solver
         self.solver_seed = solver_seed
+        #: Persistent columnar kernel switch.  On (default), the policy
+        #: keeps a :class:`ColumnarClusterState` and matrix construction
+        #: is O(dirty hosts + columns); off, every round re-lists host and
+        #: VM state from Python objects (the seed kernel) — kept for A/B
+        #: benchmarking and the columnar-vs-seed equality oracle.
+        self.use_columnar = use_columnar
         if solver not in ("hill_climb", "sa", "tabu"):
             from repro.errors import ConfigurationError
 
@@ -86,7 +94,11 @@ class ScoreBasedPolicy(SchedulingPolicy):
         """
         cache = self._host_cache
         if cache is None or not cache.matches(ctx.hosts):
-            cache = HostArrayCache(ctx.hosts)
+            cache = (
+                ColumnarClusterState(ctx.hosts)
+                if self.use_columnar
+                else HostArrayCache(ctx.hosts)
+            )
             self._host_cache = cache
         return cache
 

@@ -18,10 +18,11 @@ redistributable here, so this package provides, per DESIGN.md §4:
 
 from repro.workload.job import Job, JobState
 from repro.workload.trace import Trace, TraceStats
+from repro.workload.stream import JobStream
 from repro.workload.synthetic import Grid5000WeekGenerator, SyntheticConfig
 from repro.workload.deadlines import DeadlinePolicy, assign_deadlines
-from repro.workload.swf import read_swf, write_swf
-from repro.workload.gwf import read_gwf
+from repro.workload.swf import iter_swf, read_swf, stream_swf, write_swf
+from repro.workload.gwf import iter_gwf, read_gwf, stream_gwf
 from repro.workload.models import HeavyTailModel, LublinFeitelsonModel
 from repro.workload.analysis import (
     demand_timeline,
@@ -35,15 +36,20 @@ from repro.workload.analysis import (
 __all__ = [
     "Job",
     "JobState",
+    "JobStream",
     "Trace",
     "TraceStats",
     "Grid5000WeekGenerator",
     "SyntheticConfig",
     "DeadlinePolicy",
     "assign_deadlines",
+    "iter_swf",
     "read_swf",
+    "stream_swf",
     "write_swf",
+    "iter_gwf",
     "read_gwf",
+    "stream_gwf",
     "LublinFeitelsonModel",
     "HeavyTailModel",
     "demand_timeline",

@@ -10,19 +10,24 @@ Tools for inspecting a trace before (or instead of) simulating it:
   summaries used to compare the synthetic generator with archive logs;
 * :func:`peak_demand` — the sizing number for capacity planning.
 
-Everything is pure numpy over the trace — no simulation involved.
+Everything is pure numpy over the workload — no simulation involved.
+Every function takes any iterable of jobs (a :class:`Trace`, a list, or
+a streaming generator such as :func:`repro.workload.swf.iter_swf`) and
+consumes it in a **single pass** holding O(buckets) state, never
+O(jobs) — so a million-line archive log can be characterized without
+materializing it.  Pass a re-playable source (not an exhausted
+iterator) when calling more than one function.
 """
 
 from __future__ import annotations
 
-from dataclasses import dataclass
-from typing import Dict, List, Sequence, Tuple
+from typing import Dict, Iterable, Sequence, Tuple
 
 import numpy as np
 
 from repro.errors import ConfigurationError
 from repro.units import HOUR
-from repro.workload.trace import Trace
+from repro.workload.job import Job
 
 __all__ = [
     "demand_timeline",
@@ -34,31 +39,50 @@ __all__ = [
 ]
 
 
-def demand_timeline(trace: Trace, step_s: float = 300.0) -> Tuple[np.ndarray, np.ndarray]:
+def demand_timeline(
+    jobs: Iterable[Job], step_s: float = 300.0
+) -> Tuple[np.ndarray, np.ndarray]:
     """Offered demand in cores sampled every ``step_s`` seconds.
 
     A job contributes its width from submission until
     ``submit + runtime`` (its dedicated-execution window — queueing and
     contention are a *simulation* outcome, not a property of the trace).
+
+    Single pass: per-bucket deltas accumulate in a dict keyed by bucket
+    index (O(time span / step) state, independent of job count), then
+    scatter into the dense array once the true end of the workload is
+    known.  Per-bucket accumulation happens in job order either way, so
+    the result is bit-identical to the historical two-pass
+    dense-array version.
     """
     if step_s <= 0:
         raise ConfigurationError("step must be positive")
-    if len(trace) == 0:
-        return np.zeros(0), np.zeros(0)
-    end = max(j.submit_time + j.runtime_s for j in trace)
-    n = int(np.ceil(end / step_s)) + 1
-    deltas = np.zeros(n + 1)
-    for job in trace:
+    deltas: Dict[int, float] = {}
+    end = 0.0
+    seen = False
+    for job in jobs:
+        seen = True
+        end = max(end, job.submit_time + job.runtime_s)
         start_idx = int(job.submit_time // step_s)
-        stop_idx = min(int((job.submit_time + job.runtime_s) // step_s) + 1, n)
-        deltas[start_idx] += job.cores
-        deltas[stop_idx] -= job.cores
-    demand = np.cumsum(deltas[:-1])
+        stop_idx = int((job.submit_time + job.runtime_s) // step_s) + 1
+        cores = job.cores
+        deltas[start_idx] = deltas.get(start_idx, 0.0) + cores
+        deltas[stop_idx] = deltas.get(stop_idx, 0.0) - cores
+    if not seen:
+        return np.zeros(0), np.zeros(0)
+    # stop_idx <= int(end // step) + 1 <= n for every job, so no stop
+    # bucket can land beyond the dense array (the historical clamp at n
+    # never actually clipped).
+    n = int(np.ceil(end / step_s)) + 1
+    dense = np.zeros(n + 1)
+    for idx, value in deltas.items():
+        dense[idx] = value
+    demand = np.cumsum(dense[:-1])
     times = np.arange(n) * step_s
     return times, demand
 
 
-def hourly_arrival_counts(trace: Trace) -> np.ndarray:
+def hourly_arrival_counts(trace: Iterable[Job]) -> np.ndarray:
     """Arrivals per hour-of-day (length 24), summed over all days."""
     counts = np.zeros(24, dtype=int)
     for job in trace:
@@ -68,7 +92,8 @@ def hourly_arrival_counts(trace: Trace) -> np.ndarray:
 
 
 def runtime_histogram(
-    trace: Trace, edges_s: Sequence[float] = (0, 300, 900, 3600, 14400, 86400, float("inf"))
+    trace: Iterable[Job],
+    edges_s: Sequence[float] = (0, 300, 900, 3600, 14400, 86400, float("inf")),
 ) -> Dict[str, int]:
     """Job counts per runtime bucket (labelled by the bucket bounds)."""
     edges = list(edges_s)
@@ -87,7 +112,7 @@ def runtime_histogram(
     return counts
 
 
-def width_histogram(trace: Trace) -> Dict[int, int]:
+def width_histogram(trace: Iterable[Job]) -> Dict[int, int]:
     """Job counts per width (rounded cores)."""
     counts: Dict[int, int] = {}
     for job in trace:
@@ -96,13 +121,15 @@ def width_histogram(trace: Trace) -> Dict[int, int]:
     return dict(sorted(counts.items()))
 
 
-def peak_demand(trace: Trace, step_s: float = 300.0) -> float:
+def peak_demand(trace: Iterable[Job], step_s: float = 300.0) -> float:
     """Maximum concurrent offered demand, in cores."""
     _, demand = demand_timeline(trace, step_s)
     return float(demand.max()) if demand.size else 0.0
 
 
-def utilization_against(trace: Trace, total_cores: float, step_s: float = 300.0) -> float:
+def utilization_against(
+    trace: Iterable[Job], total_cores: float, step_s: float = 300.0
+) -> float:
     """Mean offered utilization of a datacenter with ``total_cores``."""
     if total_cores <= 0:
         raise ConfigurationError("total_cores must be positive")

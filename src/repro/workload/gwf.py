@@ -24,33 +24,34 @@ vary between 11 and 29 columns.
 from __future__ import annotations
 
 from pathlib import Path
-from typing import List, TextIO, Union
+from typing import Iterator, TextIO, Union
 
-from repro.errors import TraceFormatError
+from repro.errors import ConfigurationError, TraceFormatError
 from repro.units import CPU_PCT_PER_CORE
 from repro.workload.job import Job
+from repro.workload.stream import JobStream
 from repro.workload.trace import Trace
 
-__all__ = ["read_gwf"]
+__all__ = ["iter_gwf", "read_gwf", "stream_gwf"]
 
 _MIN_FIELDS = 7
 
 
-def read_gwf(
+def iter_gwf(
     source: Union[str, Path, TextIO],
     *,
     default_mem_mb: float = 512.0,
     deadline_factor: float = 1.5,
     max_jobs: int | None = None,
-) -> Trace:
-    """Parse a GWF file (or file-like object) into a :class:`Trace`."""
+) -> Iterator[Job]:
+    """Lazily parse a GWF file, yielding jobs one line at a time."""
     if isinstance(source, (str, Path)):
         handle: TextIO = open(source, "r", encoding="utf-8")
         owned = True
     else:
         handle, owned = source, False
 
-    jobs: List[Job] = []
+    yielded = 0
     try:
         for lineno, raw in enumerate(handle, start=1):
             line = raw.strip()
@@ -74,20 +75,70 @@ def read_gwf(
             if run <= 0 or nprocs <= 0:
                 continue
             user = f"u{fields[11]}" if len(fields) > 11 else "u0"
-            jobs.append(
-                Job(
-                    job_id=job_id,
-                    submit_time=submit,
-                    runtime_s=run,
-                    cpu_pct=nprocs * CPU_PCT_PER_CORE,
-                    mem_mb=mem_kb / 1024.0 if mem_kb > 0 else default_mem_mb,
-                    deadline_factor=deadline_factor,
-                    user=user,
-                )
+            yield Job(
+                job_id=job_id,
+                submit_time=submit,
+                runtime_s=run,
+                cpu_pct=nprocs * CPU_PCT_PER_CORE,
+                mem_mb=mem_kb / 1024.0 if mem_kb > 0 else default_mem_mb,
+                deadline_factor=deadline_factor,
+                user=user,
             )
-            if max_jobs is not None and len(jobs) >= max_jobs:
+            yielded += 1
+            if max_jobs is not None and yielded >= max_jobs:
                 break
     finally:
         if owned:
             handle.close()
-    return Trace(jobs)
+
+
+def read_gwf(
+    source: Union[str, Path, TextIO],
+    *,
+    default_mem_mb: float = 512.0,
+    deadline_factor: float = 1.5,
+    max_jobs: int | None = None,
+) -> Trace:
+    """Parse a GWF file (or file-like object) into a :class:`Trace`.
+
+    Materializes :func:`iter_gwf`; use :func:`stream_gwf` when the log
+    is too large to hold as Job objects.
+    """
+    return Trace(
+        list(
+            iter_gwf(
+                source,
+                default_mem_mb=default_mem_mb,
+                deadline_factor=deadline_factor,
+                max_jobs=max_jobs,
+            )
+        )
+    )
+
+
+def stream_gwf(
+    path: Union[str, Path],
+    *,
+    default_mem_mb: float = 512.0,
+    deadline_factor: float = 1.5,
+    max_jobs: int | None = None,
+) -> JobStream:
+    """A re-playable streaming feed over a GWF file.
+
+    Requires a *path* (re-opened per replay).  Archive GWF files are
+    submit-ordered; the stream's order check enforces it at iteration
+    time.
+    """
+    if not isinstance(path, (str, Path)):
+        raise ConfigurationError(
+            "stream_gwf needs a filesystem path (a handle cannot be replayed); "
+            "use read_gwf or iter_gwf for file-like sources"
+        )
+    return JobStream(
+        lambda: iter_gwf(
+            path,
+            default_mem_mb=default_mem_mb,
+            deadline_factor=deadline_factor,
+            max_jobs=max_jobs,
+        )
+    )

@@ -26,14 +26,15 @@ from __future__ import annotations
 
 import io
 from pathlib import Path
-from typing import List, TextIO, Tuple, Union
+from typing import Iterator, TextIO, Tuple, Union
 
-from repro.errors import TraceFormatError
+from repro.errors import ConfigurationError, TraceFormatError
 from repro.units import CPU_PCT_PER_CORE
 from repro.workload.job import Job
+from repro.workload.stream import JobStream
 from repro.workload.trace import Trace
 
-__all__ = ["read_swf", "write_swf"]
+__all__ = ["iter_swf", "read_swf", "stream_swf", "write_swf"]
 
 _N_FIELDS = 18
 
@@ -44,14 +45,18 @@ def _open(source: Union[str, Path, TextIO]) -> Tuple[TextIO, bool]:
     return source, False
 
 
-def read_swf(
+def iter_swf(
     source: Union[str, Path, TextIO],
     *,
     default_mem_mb: float = 512.0,
     deadline_factor: float = 1.5,
     max_jobs: int | None = None,
-) -> Trace:
-    """Parse an SWF file (or file-like object) into a :class:`Trace`.
+) -> Iterator[Job]:
+    """Lazily parse an SWF file, yielding jobs one line at a time.
+
+    The generator behind :func:`read_swf` and :func:`stream_swf`: a
+    million-line archive log is parsed in O(1) memory — nothing is
+    accumulated besides the line being decoded.
 
     Parameters
     ----------
@@ -67,8 +72,7 @@ def read_swf(
         Stop after this many parsed jobs (useful for tests).
     """
     handle, owned = _open(source)
-    jobs: List[Job] = []
-    skipped = 0
+    yielded = 0
     try:
         for lineno, raw in enumerate(handle, start=1):
             line = raw.strip()
@@ -95,27 +99,78 @@ def read_swf(
             if procs <= 0:
                 procs = req_procs
             if run <= 0 or procs <= 0:
-                skipped += 1
                 continue
 
             mem_mb = (mem_kb * procs / 1024.0) if mem_kb > 0 else default_mem_mb
-            jobs.append(
-                Job(
-                    job_id=job_id,
-                    submit_time=submit,
-                    runtime_s=run,
-                    cpu_pct=procs * CPU_PCT_PER_CORE,
-                    mem_mb=mem_mb,
-                    deadline_factor=deadline_factor,
-                    user=f"u{fields[11]}",
-                )
+            yield Job(
+                job_id=job_id,
+                submit_time=submit,
+                runtime_s=run,
+                cpu_pct=procs * CPU_PCT_PER_CORE,
+                mem_mb=mem_mb,
+                deadline_factor=deadline_factor,
+                user=f"u{fields[11]}",
             )
-            if max_jobs is not None and len(jobs) >= max_jobs:
+            yielded += 1
+            if max_jobs is not None and yielded >= max_jobs:
                 break
     finally:
         if owned:
             handle.close()
-    return Trace(jobs)
+
+
+def read_swf(
+    source: Union[str, Path, TextIO],
+    *,
+    default_mem_mb: float = 512.0,
+    deadline_factor: float = 1.5,
+    max_jobs: int | None = None,
+) -> Trace:
+    """Parse an SWF file (or file-like object) into a :class:`Trace`.
+
+    Materializes :func:`iter_swf` (see there for the field mapping and
+    parameters); use :func:`stream_swf` when the log is too large to
+    hold as Job objects.
+    """
+    return Trace(
+        list(
+            iter_swf(
+                source,
+                default_mem_mb=default_mem_mb,
+                deadline_factor=deadline_factor,
+                max_jobs=max_jobs,
+            )
+        )
+    )
+
+
+def stream_swf(
+    path: Union[str, Path],
+    *,
+    default_mem_mb: float = 512.0,
+    deadline_factor: float = 1.5,
+    max_jobs: int | None = None,
+) -> JobStream:
+    """A re-playable streaming feed over an SWF file.
+
+    Requires a *path* (the file is re-opened per replay — an open handle
+    cannot be rewound safely across runs).  SWF logs are submit-ordered
+    by convention; the stream's order check enforces it at iteration
+    time.  Unlike :func:`read_swf`, no job list is ever materialized.
+    """
+    if not isinstance(path, (str, Path)):
+        raise ConfigurationError(
+            "stream_swf needs a filesystem path (a handle cannot be replayed); "
+            "use read_swf or iter_swf for file-like sources"
+        )
+    return JobStream(
+        lambda: iter_swf(
+            path,
+            default_mem_mb=default_mem_mb,
+            deadline_factor=deadline_factor,
+            max_jobs=max_jobs,
+        )
+    )
 
 
 def write_swf(trace: Trace, target: Union[str, Path, TextIO]) -> None:

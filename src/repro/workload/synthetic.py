@@ -27,7 +27,7 @@ from __future__ import annotations
 import math
 
 from dataclasses import dataclass, field
-from typing import List, Optional, Sequence, Tuple
+from typing import Iterator, List, Optional, Sequence, Tuple
 
 import numpy as np
 
@@ -36,6 +36,7 @@ from repro.errors import ConfigurationError
 from repro.units import DAY, HOUR, WEEK
 from repro.workload.deadlines import DeadlinePolicy
 from repro.workload.job import Job
+from repro.workload.stream import JobStream
 from repro.workload.trace import Trace
 
 __all__ = ["SyntheticConfig", "Grid5000WeekGenerator"]
@@ -222,3 +223,46 @@ class Grid5000WeekGenerator:
             jobs.append(self._deadlines.apply(job))
             job_id += 1
         return Trace(jobs)
+
+    # --------------------------------------------------------------- stream
+
+    def iter_jobs(self) -> Iterator[Job]:
+        """Yield the workload one job at a time, never holding a job list.
+
+        Bit-identical to :meth:`generate` on a freshly constructed
+        generator: arrivals and attributes draw from *separate* named
+        streams ("workload.arrivals" / "workload.attrs"), so interleaving
+        the draws per job preserves both sequences exactly, and deadline
+        factors are a pure per-job function (crc32 of the user tag).
+        Each call derives a pristine stream family from the root seed, so
+        the iterator replays deterministically however often it is
+        invoked — which is what makes it a valid
+        :class:`~repro.workload.stream.JobStream` factory.
+        """
+        cfg = self.config
+        streams = RandomStreams(seed=self._streams.seed)
+        arrivals = streams.get("workload.arrivals")
+        rng = streams.get("workload.attrs")
+        lam_max = cfg.base_rate_per_hour / HOUR
+        job_id = cfg.first_job_id
+        t = 0.0
+        while True:
+            t += float(arrivals.exponential(1.0 / lam_max))
+            if t >= cfg.horizon_s:
+                return
+            if arrivals.random() < self.rate_at(t) / cfg.base_rate_per_hour:
+                cores = self._width(rng)
+                job = Job(
+                    job_id=job_id,
+                    submit_time=t,
+                    runtime_s=self._runtime(rng),
+                    cpu_pct=cores * 100.0,
+                    mem_mb=self._memory(rng, cores),
+                    user=self._user(rng),
+                )
+                yield self._deadlines.apply(job)
+                job_id += 1
+
+    def stream(self) -> JobStream:
+        """The workload as a re-playable streaming feed (O(1) memory)."""
+        return JobStream(self.iter_jobs)

@@ -1,0 +1,212 @@
+"""Equivalence oracles for the columnar score kernel.
+
+Three layers of "the fast path changes nothing":
+
+* ``_score_row(r)`` must be **bit-identical** to ``_score_rows([r])[0]``
+  — the scalar-host-terms row rescorer is the hill climber's hot path
+  and any float drift there silently changes consolidation decisions;
+* a :class:`ScoreMatrixBuilder` backed by the persistent
+  :class:`ColumnarClusterState` must produce exactly the matrix, current
+  costs, and best move of one built from plain per-round host scans;
+* at the top, a whole simulation with ``use_columnar=True`` must emit
+  exactly the result row of the seed kernel (``use_columnar=False``).
+
+Plus the regression test for the ``reprice_hard_sla`` current-cost fix.
+"""
+
+import dataclasses
+import math
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.cluster.host import Host, HostState
+from repro.cluster.spec import FAST, MEDIUM, SLOW, HostSpec
+from repro.cluster.vm import Vm, VmState
+from repro.scheduling.score import ScoreConfig, ScoreMatrixBuilder
+from repro.scheduling.score.columnar import ColumnarClusterState
+from repro.scheduling.score.matrix import HostArrayCache
+from repro.workload.job import Job
+
+CLASSES = [FAST, MEDIUM, SLOW]
+
+
+def make_vm(vm_id, cpu=100.0, mem=512.0, runtime=3600.0, **job_kw):
+    job = Job(job_id=vm_id, submit_time=0.0, runtime_s=runtime,
+              cpu_pct=cpu, mem_mb=mem, **job_kw)
+    return Vm(job)
+
+
+def make_host(host_id, node_class=MEDIUM, state=HostState.ON, **kw):
+    return Host(HostSpec(host_id=host_id, node_class=node_class, **kw),
+                initial_state=state)
+
+
+def place(host, vm):
+    vm.state = VmState.RUNNING
+    host.add_vm(vm)
+
+
+@st.composite
+def cluster_state(draw):
+    """Random hosts + VMs (placed and queued) + a random config."""
+    n_hosts = draw(st.integers(min_value=1, max_value=5))
+    hosts = []
+    for i in range(n_hosts):
+        cls = draw(st.sampled_from(CLASSES))
+        state = draw(st.sampled_from([HostState.ON, HostState.ON, HostState.OFF]))
+        rel = draw(st.floats(min_value=0.5, max_value=1.0))
+        hosts.append(make_host(i, node_class=cls, state=state, reliability=rel))
+    n_vms = draw(st.integers(min_value=1, max_value=6))
+    vms, fulf = [], {}
+    for v in range(n_vms):
+        cpu = draw(st.sampled_from([50.0, 100.0, 200.0, 400.0]))
+        mem = draw(st.sampled_from([128.0, 512.0, 1024.0]))
+        runtime = draw(st.floats(min_value=120.0, max_value=7200.0))
+        ftol = draw(st.floats(min_value=0.0, max_value=1.0))
+        vm = make_vm(100 + v, cpu=cpu, mem=mem, runtime=runtime,
+                     fault_tolerance=ftol)
+        host_idx = draw(st.integers(min_value=-1, max_value=n_hosts - 1))
+        if host_idx >= 0 and hosts[host_idx].state is HostState.ON:
+            place(hosts[host_idx], vm)
+        vms.append(vm)
+        fulf[vm.vm_id] = draw(st.floats(min_value=0.0, max_value=1.2))
+    now = draw(st.floats(min_value=0.0, max_value=7200.0))
+    preset = draw(st.sampled_from(["sb0", "sb1", "sb2", "sb", "full"]))
+    config = getattr(ScoreConfig, preset)()
+    if draw(st.booleans()):
+        config = dataclasses.replace(config, reprice_hard_sla=True)
+    return hosts, vms, now, config, fulf
+
+
+def _builder(hosts, vms, now, config, fulf, cache=None):
+    return ScoreMatrixBuilder(
+        hosts, vms, now, config,
+        fulfillments=fulf if config.enable_sla else None,
+        host_cache=cache,
+    )
+
+
+class TestScoreRowEquivalence:
+    @settings(max_examples=60, deadline=None)
+    @given(state=cluster_state())
+    def test_score_row_bit_identical_to_score_rows(self, state):
+        hosts, vms, now, config, fulf = state
+        b = _builder(hosts, vms, now, config, fulf)
+        for r in range(b.n_rows):
+            single = b._score_row(r)
+            batch = b._score_rows(np.array([r]))[0]
+            # Exact equality, not approx: the two paths must perform the
+            # same float operations cell for cell.
+            assert np.array_equal(single, batch), (r, single, batch)
+        # The full-build view path (rows=None) must equal the indexed path.
+        assert np.array_equal(
+            b._score_rows(None), b._score_rows(np.arange(b.n_rows))
+        )
+
+    @settings(max_examples=40, deadline=None)
+    @given(state=cluster_state())
+    def test_columnar_builder_matches_plain_builder(self, state):
+        hosts, vms, now, config, fulf = state
+        plain = _builder(hosts, vms, now, config, fulf,
+                         cache=HostArrayCache(hosts))
+        columnar = _builder(hosts, vms, now, config, fulf,
+                            cache=ColumnarClusterState(hosts))
+        assert np.array_equal(plain.scores, columnar.scores)
+        assert np.array_equal(plain.current_costs(), columnar.current_costs())
+        assert np.array_equal(plain.req_ok, columnar.req_ok)
+        assert plain.best_move() == columnar.best_move()
+
+
+class TestPolicyLevelOracle:
+    def test_columnar_simulation_equals_seed_kernel(self):
+        """Whole-run determinism fields must match the seed kernel exactly."""
+        from repro.engine.config import EngineConfig
+        from repro.engine.datacenter import simulate
+        from repro.experiments.common import (
+            DEFAULT_SEED, lambda_config, paper_cluster,
+        )
+        from repro.scheduling.score.policy import ScoreBasedPolicy
+        from repro.units import WEEK
+        from repro.workload.synthetic import (
+            Grid5000WeekGenerator, SyntheticConfig,
+        )
+
+        cfg = SyntheticConfig(horizon_s=WEEK / 28.0)
+        rows = {}
+        for columnar in (False, True):
+            trace = Grid5000WeekGenerator(cfg, seed=DEFAULT_SEED).generate()
+            res = simulate(
+                cluster=paper_cluster(),
+                policy=ScoreBasedPolicy(ScoreConfig.sb(),
+                                        use_columnar=columnar),
+                trace=trace,
+                pm_config=lambda_config(),
+                config=EngineConfig(seed=DEFAULT_SEED),
+            )
+            rows[columnar] = (
+                res.energy_kwh, res.cpu_hours, res.migrations,
+                res.n_completed, res.sim_events, res.satisfaction,
+                res.delay_pct, res.mean_wait_s, res.p95_wait_s,
+            )
+        assert rows[True] == rows[False]
+
+
+class TestRepriceHardSla:
+    """Regression: hard-SLA promotion must not price the VM like a queued one.
+
+    A placed VM whose fulfilment has crossed ``th_sla`` gets its current
+    cell promoted to +inf.  Historically that cell then fell into the
+    forced-out bucket of :meth:`current_costs` (priced at ``queue_cost``),
+    making *any* feasible cell look like a ~1e6 win — the climber migrated
+    the VM every round even though fulfilment travels with the VM.
+    """
+
+    def _state(self):
+        h0, h1 = make_host(0), make_host(1)
+        victim = make_vm(1, cpu=100.0)
+        place(h0, victim)
+        ballast = make_vm(2, cpu=100.0)
+        place(h1, ballast)
+        config = ScoreConfig.full()
+        fulf = {victim.vm_id: 0.4, ballast.vm_id: 1.0}  # 0.4 <= th_sla=0.5
+        return [h0, h1], [victim], config, fulf
+
+    def test_legacy_prices_hard_violation_at_queue_cost(self):
+        hosts, cols, config, fulf = self._state()
+        b = _builder(hosts, cols, 0.0, config, fulf)
+        assert math.isinf(b.scores[0, 0])  # the hard promotion itself
+        assert b.current_costs()[0] == config.queue_cost
+        row, col, gain = b.best_move()
+        assert gain < -1e5  # spurious "huge win" migration
+
+    def test_reprice_uses_soft_sla_cost(self):
+        hosts, cols, config, fulf = self._state()
+        config = dataclasses.replace(config, reprice_hard_sla=True)
+        b = _builder(hosts, cols, 0.0, config, fulf)
+        # Independent expectation: the same placement with a *soft*
+        # violation (th_sla < fulf < 1) scores its own cell finitely, and
+        # the soft repricing must reproduce exactly that value.
+        soft_fulf = dict(fulf)
+        soft_fulf[cols[0].vm_id] = 0.8
+        ref = _builder(hosts, cols, 0.0, config, soft_fulf)
+        assert np.isfinite(ref.scores[0, 0])
+        assert b.current_costs()[0] == ref.scores[0, 0]
+        # The move can still buy back the on-host c_sla penalty, but the
+        # 1e6-scale forced-out gain is gone.
+        _, _, gain = b.best_move()
+        assert gain > -1e3
+
+    def test_genuinely_forced_out_keeps_queue_cost(self):
+        hosts, cols, config, fulf = self._state()
+        config = dataclasses.replace(config, reprice_hard_sla=True)
+        hosts[0].quarantined = True  # forced out for real
+        b = _builder(hosts, cols, 0.0, config, fulf)
+        assert b.current_costs()[0] == config.queue_cost
+
+    def test_default_stays_legacy(self):
+        # The committed macro baselines were recorded with the legacy
+        # pricing; the fix must stay opt-in until they are regenerated.
+        assert ScoreConfig().reprice_hard_sla is False
+        assert ScoreConfig.full().reprice_hard_sla is False

@@ -1,0 +1,141 @@
+"""Streaming engine mode: chained arrivals vs the materialized trace.
+
+A :class:`JobStream` run must be *event-for-event* the same simulation as
+the equivalent :class:`Trace` run — same placements, same migrations, same
+energy integral, same SLA statistics — with the single documented
+exception that when jobs outlive the drain horizon the streaming mode's
+horizon-guard event fires and ``sim_events`` counts one extra event.
+What the streaming mode buys is memory: the VM registry holds only live
+jobs, retired ones compact to four scalars each.
+"""
+
+import pytest
+
+from repro.engine.config import EngineConfig
+from repro.engine.datacenter import DatacenterSimulation, simulate
+from repro.experiments.common import DEFAULT_SEED, lambda_config, paper_cluster
+from repro.scheduling.score import ScoreConfig
+from repro.scheduling.score.policy import ScoreBasedPolicy
+from repro.units import DAY, WEEK
+from repro.workload.synthetic import Grid5000WeekGenerator, SyntheticConfig
+
+ROW_FIELDS = (
+    "energy_kwh",
+    "cpu_hours",
+    "avg_working",
+    "avg_online",
+    "migrations",
+    "creations",
+    "n_jobs",
+    "n_completed",
+    "n_failed",
+    "satisfaction",
+    "delay_pct",
+    "mean_wait_s",
+    "p95_wait_s",
+    "sla_violations",
+    "rejected_actions",
+)
+
+CFG = SyntheticConfig(horizon_s=WEEK / 14.0)
+
+
+def run(workload, **engine_kw):
+    return simulate(
+        cluster=paper_cluster(),
+        policy=ScoreBasedPolicy(ScoreConfig.sb()),
+        trace=workload,
+        pm_config=lambda_config(),
+        config=EngineConfig(seed=DEFAULT_SEED, **engine_kw),
+    )
+
+
+def rows(res):
+    return {f: getattr(res, f) for f in ROW_FIELDS}
+
+
+class TestStreamEqualsTrace:
+    def test_full_drain_bit_identical(self):
+        gen = Grid5000WeekGenerator(CFG, seed=DEFAULT_SEED)
+        materialized = run(gen.generate())
+        streamed = run(gen.stream())
+        assert rows(streamed) == rows(materialized)
+        # Full drain: the last completion stops both loops; the streaming
+        # horizon guard never fires, so even the event count matches.
+        assert streamed.sim_events == materialized.sim_events
+
+    def test_horizon_overrun_differs_only_by_guard_event(self):
+        # A tiny drain grace leaves jobs running at the horizon in both
+        # modes; every statistic must still match, and the streaming mode
+        # pays exactly one extra event — the guard that stops the loop.
+        gen = Grid5000WeekGenerator(CFG, seed=DEFAULT_SEED)
+        materialized = run(gen.generate(), drain_grace_s=600.0)
+        streamed = run(gen.stream(), drain_grace_s=600.0)
+        assert rows(streamed) == rows(materialized)
+        assert streamed.sim_events == materialized.sim_events + 1
+        assert streamed.horizon_s == materialized.horizon_s
+
+    def test_strict_invariants_hold_in_streaming_mode(self):
+        gen = Grid5000WeekGenerator(
+            SyntheticConfig(horizon_s=DAY / 4.0), seed=DEFAULT_SEED
+        )
+        res = run(gen.stream(), strict_invariants=True)
+        assert res.invariant_checks > 0
+        assert res.invariant_resyncs == 0
+
+
+class TestStreamingMemory:
+    def test_registry_prunes_to_live_set(self):
+        gen = Grid5000WeekGenerator(CFG, seed=DEFAULT_SEED)
+        sim = DatacenterSimulation(
+            cluster=paper_cluster(),
+            policy=ScoreBasedPolicy(ScoreConfig.sb()),
+            trace=gen.stream(),
+            pm_config=lambda_config(),
+            config=EngineConfig(seed=DEFAULT_SEED),
+        )
+        res = sim.run()
+        # Every retired job compacts to four scalars; the Vm registry
+        # holds only jobs still live at the end (none, after full drain).
+        assert len(sim.vms) == 0
+        assert len(sim._ret_ids) == res.n_jobs
+        assert res.n_jobs > 0
+
+    def test_trace_mode_keeps_registry(self):
+        gen = Grid5000WeekGenerator(CFG, seed=DEFAULT_SEED)
+        sim = DatacenterSimulation(
+            cluster=paper_cluster(),
+            policy=ScoreBasedPolicy(ScoreConfig.sb()),
+            trace=gen.generate(),
+            pm_config=lambda_config(),
+            config=EngineConfig(seed=DEFAULT_SEED),
+        )
+        res = sim.run()
+        # Materialized runs keep per-job records (job_records & tests
+        # depend on them) — retirement compaction is streaming-only.
+        assert len(sim.vms) == res.n_jobs
+
+
+class TestStreamingEdgeCases:
+    def test_empty_stream_raises(self):
+        from repro.errors import ConfigurationError
+        from repro.workload.stream import JobStream
+
+        with pytest.raises(ConfigurationError):
+            run(JobStream(lambda: iter(())))
+
+    def test_unplaceable_streamed_job_fails_and_retires(self):
+        from repro.workload.job import Job
+        from repro.workload.stream import JobStream
+
+        def jobs():
+            yield Job(job_id=1, submit_time=0.0, runtime_s=600.0,
+                      cpu_pct=100.0, mem_mb=256.0)
+            # No host has 10**6 % CPU: rejected at arrival.
+            yield Job(job_id=2, submit_time=60.0, runtime_s=600.0,
+                      cpu_pct=1e6, mem_mb=256.0)
+
+        res = run(JobStream(jobs))
+        assert res.n_jobs == 2
+        assert res.n_completed == 1
+        assert res.n_failed == 1
