@@ -3,11 +3,13 @@
 One tiny sweep point runs through the real ``run_point`` path (the same
 code the CI subprocess executes); the gate's decision logic — sweep
 parsing, throughput regression, determinism drift, memory flatness, and
-the legacy speedup report — is unit-tested against synthetic reports so
+the kernel speedup report — is unit-tested against synthetic reports so
 gate bugs surface in the normal suite rather than as CI verdicts.
 """
 
 import copy
+
+import pytest
 
 from benchmarks.scale import (
     DETERMINISM_FIELDS,
@@ -24,8 +26,9 @@ from repro.experiments.common import DEFAULT_SEED
 
 class TestRunPoint:
     def test_tiny_point_runs_and_reports(self):
-        row = run_point(20, 120, DEFAULT_SEED, legacy=False)
-        assert row["hosts"] == 20 and row["legacy"] is False
+        row = run_point(20, 120, DEFAULT_SEED, "")
+        assert row["hosts"] == 20 and row["kind"] == ""
+        assert row["legacy"] is False
         assert row["n_jobs"] > 0
         assert row["sim_events"] > 0
         assert row["wall_clock_s"] > 0
@@ -33,30 +36,53 @@ class TestRunPoint:
         for fld in DETERMINISM_FIELDS:
             assert fld in row
 
-    def test_point_is_deterministic(self):
-        a = run_point(20, 120, DEFAULT_SEED, legacy=False)
-        b = run_point(20, 120, DEFAULT_SEED, legacy=False)
-        for fld in DETERMINISM_FIELDS:
-            assert a[fld] == b[fld]
+    def test_persistent_point_carries_rescore_counters(self):
+        row = run_point(20, 120, DEFAULT_SEED, "")
+        assert row["rescore_binds"] > 0
+        assert row["rescore_full_rebuilds"] == 0
+        assert 0 < row["rescore_cells_rescored"] < row["rescore_cells_total"]
+        assert row["rescore_savings_x"] > 1.0
+        assert any(k.startswith("dirty_") for k in row["rescore_hist"])
+
+    def test_fresh_point_has_no_rescore_counters(self):
+        row = run_point(20, 120, DEFAULT_SEED, "fresh")
+        assert row["kind"] == "fresh" and row["legacy"] is False
+        assert "rescore_binds" not in row
+
+    def test_point_is_deterministic_across_kernels(self):
+        rows = [run_point(20, 120, DEFAULT_SEED, kind)
+                for kind in ("", "", "fresh", "legacy")]
+        for other in rows[1:]:
+            for fld in DETERMINISM_FIELDS:
+                assert rows[0][fld] == other[fld]
 
 
 class TestSweepParsing:
-    def test_points_and_legacy_suffix(self):
-        assert parse_sweep("1000x3400, 10000x100000:legacy") == [
-            (1000, 3400, False),
-            (10000, 100000, True),
+    def test_points_and_kind_suffixes(self):
+        assert parse_sweep(
+            "1000x3400, 10000x100000:legacy,1000x3400:fresh"
+        ) == [
+            (1000, 3400, ""),
+            (10000, 100000, "legacy"),
+            (1000, 3400, "fresh"),
         ]
 
+    def test_bad_kind_rejected(self):
+        with pytest.raises(SystemExit):
+            parse_sweep("1000x3400:turbo")
+
     def test_point_key(self):
-        assert point_key(1000, 3400, False) == "h1000-j3400"
-        assert point_key(1000, 3400, True) == "h1000-j3400-legacy"
+        assert point_key(1000, 3400, "") == "h1000-j3400"
+        assert point_key(1000, 3400, "legacy") == "h1000-j3400-legacy"
+        assert point_key(1000, 3400, "fresh") == "h1000-j3400-fresh"
 
 
-def _row(hosts=1000, jobs=3400, legacy=False, norm=20.0, rss=50_000):
+def _row(hosts=1000, jobs=3400, kind="", norm=20.0, rss=50_000):
     return {
         "hosts": hosts,
         "jobs_target": jobs,
-        "legacy": legacy,
+        "legacy": kind == "legacy",
+        "kind": kind,
         "n_jobs": jobs,
         "wall_clock_s": 5.0,
         "events_per_s": norm / 0.01,
@@ -76,7 +102,7 @@ def _report(rows):
         "seed": DEFAULT_SEED,
         "calibration_s": 0.01,
         "results": {
-            point_key(r["hosts"], r["jobs_target"], r["legacy"]): r
+            point_key(r["hosts"], r["jobs_target"], r["kind"]): r
             for r in rows
         },
     }
@@ -137,17 +163,47 @@ class TestMemoryFlatness:
                        _row(hosts=10000, jobs=10300, rss=500_000)])
         assert check_memory_flatness(rep, 0.30) == []
 
-    def test_legacy_not_compared_with_columnar(self):
+    def test_different_kernels_not_compared(self):
         rep = _report([_row(jobs=3400, rss=50_000),
-                       _row(jobs=10300, legacy=True, rss=500_000)])
+                       _row(jobs=10300, kind="legacy", rss=500_000),
+                       _row(jobs=20600, kind="fresh", rss=250_000)])
         assert check_memory_flatness(rep, 0.30) == []
+
+    def test_matrix_growth_is_not_a_leak(self):
+        rep = _report([
+            dict(_row(jobs=3400, rss=150_000), matrix_nbytes=100_000 * 1024.0),
+            dict(_row(jobs=10300, rss=450_000), matrix_nbytes=400_000 * 1024.0),
+        ])
+        assert check_memory_flatness(rep, 0.30) == []
+
+    def test_growth_beyond_the_matrix_still_fails(self):
+        rep = _report([
+            dict(_row(jobs=3400, rss=150_000), matrix_nbytes=100_000 * 1024.0),
+            dict(_row(jobs=10300, rss=450_000), matrix_nbytes=150_000 * 1024.0),
+        ])
+        failures = check_memory_flatness(rep, 0.30)
+        assert any("memory grew" in f for f in failures)
+
+    def test_old_report_rows_without_kind_field(self):
+        rep = _report([_row(jobs=3400, rss=50_000),
+                       _row(jobs=10300, rss=90_000)])
+        for row in rep["results"].values():
+            del row["kind"]
+        failures = check_memory_flatness(rep, 0.30)
+        assert any("memory grew" in f for f in failures)
 
 
 class TestSpeedups:
-    def test_columnar_vs_legacy_ratio(self):
+    def test_persistent_vs_legacy_ratio(self):
         rep = _report([_row(norm=100.0),
-                       _row(jobs=1000, legacy=True, norm=10.0)])
+                       _row(jobs=1000, kind="legacy", norm=10.0)])
         assert speedups(rep) == {"h1000": 10.0}
 
-    def test_no_legacy_point_no_ratio(self):
+    def test_persistent_vs_fresh_ratio(self):
+        rep = _report([_row(norm=100.0),
+                       _row(jobs=1000, kind="legacy", norm=10.0),
+                       _row(jobs=2000, kind="fresh", norm=50.0)])
+        assert speedups(rep) == {"h1000": 10.0, "h1000-vs-fresh": 2.0}
+
+    def test_no_comparison_point_no_ratio(self):
         assert speedups(_report([_row()])) == {}

@@ -1148,6 +1148,25 @@ class DatacenterSimulation(ActuatorsMixin):
                 cache.resync()
                 self.metrics.counters.incr("invariant_resyncs")
                 self._invariant_resyncs += 1
+        # The persistent score matrix, when the policy keeps one, carries
+        # incrementally maintained cells/costs/argmin caches worth the
+        # same treatment: recompute them from its stored attribute arrays.
+        matrix = getattr(self.policy, "_matrix", None)
+        if matrix is not None and getattr(matrix, "state", None) is cache:
+            try:
+                matrix.verify_cells()
+            except StateError as exc:
+                if not resync:
+                    raise
+                warnings.warn(
+                    f"t={now:.0f}s: persistent matrix drift, full rebuild "
+                    f"forced: {exc}",
+                    RuntimeWarning,
+                    stacklevel=2,
+                )
+                matrix.force_full_rebuild()
+                self.metrics.counters.incr("invariant_resyncs")
+                self._invariant_resyncs += 1
 
     # --------------------------------------------------------------- result
 
@@ -1291,6 +1310,8 @@ class DatacenterSimulation(ActuatorsMixin):
         mean_recovery_s = (
             self._recovery_total_s / self._recoveries if self._recoveries else 0.0
         )
+        matrix = getattr(self.policy, "_matrix", None)
+        rescore_stats = matrix.stats() if matrix is not None else {}
         return SimulationResult(
             policy=self.policy.name,
             lambda_min=self.power_manager.config.lambda_min,
@@ -1324,6 +1345,7 @@ class DatacenterSimulation(ActuatorsMixin):
             lost_cpu_s=self._lost_work_pct_s / 100.0,
             mean_recovery_s=mean_recovery_s,
             reject_reasons=reject_reasons,
+            rescore_stats=rescore_stats,
         )
 
 

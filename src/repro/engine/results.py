@@ -69,6 +69,12 @@ class SimulationResult:
     #: Dropped-action breakdown keyed by
     #: :class:`~repro.engine.actuators.RejectReason` value.
     reject_reasons: Dict[str, int] = field(default_factory=dict)
+    #: Persistent score-matrix rescoring counters (empty when the policy
+    #: runs without one): ``binds``, ``cells_rescored`` vs ``cells_total``
+    #: (what a per-round rebuild would have computed), ``full_rebuilds``,
+    #: and ``dirty_rows_<2^k>`` / ``dirty_cols_<2^k>`` histograms of the
+    #: per-round dirty-row / changed-column counts.
+    rescore_stats: Dict[str, float] = field(default_factory=dict)
     extra: Dict[str, float] = field(default_factory=dict)
 
     @property

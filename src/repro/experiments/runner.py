@@ -68,8 +68,9 @@ __all__ = [
 
 #: Bump when engine/experiment semantics change in a way that invalidates
 #: previously cached :class:`ExperimentOutput` pickles.  2: results grew
-#: the strict-invariant diagnostic fields.
-RESULT_VERSION = 2
+#: the strict-invariant diagnostic fields.  3: results grew the
+#: persistent-matrix ``rescore_stats`` field.
+RESULT_VERSION = 3
 
 #: Default sweep-journal filename inside ``cache_dir``.
 JOURNAL_NAME = "sweep-journal.jsonl"

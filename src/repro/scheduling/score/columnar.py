@@ -87,6 +87,7 @@ class ColumnarClusterState(HostArrayCache):
         "v_ftol",
         "v_feas",
         "_next_sweep",
+        "matrix_listener",
     )
 
     #: Flag `ScoreMatrixBuilder` checks to pick the columnar fast path
@@ -144,6 +145,10 @@ class ColumnarClusterState(HostArrayCache):
         self.v_ftol = np.empty(cap, dtype=float)
         self.v_feas = np.empty((cap, n_classes), dtype=bool)
         self._next_sweep = _MIN_SWEEP
+        #: Slot-lifecycle observer (the persistent score matrix): notified
+        #: on registry growth, slot (re)fills, and sweep-time frees so its
+        #: per-column state tracks the slot space exactly.
+        self.matrix_listener = None
 
     # ------------------------------------------------------------- host side
 
@@ -219,6 +224,16 @@ class ColumnarClusterState(HostArrayCache):
             )
         return row
 
+    def attach_matrix_listener(self, listener) -> None:
+        """Register the persistent score matrix as slot-lifecycle observer.
+
+        The listener must provide ``on_grow(new_cap)``,
+        ``on_slot_filled(slot)`` and ``on_slots_freed(slots)``; one
+        listener at a time (a new one replaces the old — the policy
+        rebuilds the matrix only alongside a new columnar state).
+        """
+        self.matrix_listener = listener
+
     def _grow(self) -> None:
         cap = 2 * len(self.v_cpu)
         for name in ("v_cpu", "v_mem", "v_ftol"):
@@ -230,12 +245,16 @@ class ColumnarClusterState(HostArrayCache):
         new2 = np.empty((cap, old2.shape[1]), dtype=bool)
         new2[: len(old2)] = old2
         self.v_feas = new2
+        if self.matrix_listener is not None:
+            self.matrix_listener.on_grow(cap)
 
     def _fill_slot(self, slot: int, vm: Vm) -> None:
         self.v_cpu[slot] = vm.cpu_req
         self.v_mem[slot] = vm.mem_req
         self.v_ftol[slot] = vm.job.fault_tolerance
         self.v_feas[slot] = self._class_row(vm)
+        if self.matrix_listener is not None:
+            self.matrix_listener.on_slot_filled(slot)
 
     def _ensure_slot(self, vm: Vm) -> int:
         slot = self._slot_of.get(vm.vm_id)
@@ -259,10 +278,15 @@ class ColumnarClusterState(HostArrayCache):
         if len(self._slot_of) < self._next_sweep:
             return
         retired = [vm_id for vm_id, vm in self._vm_of.items() if not vm.is_active]
+        freed: List[int] = []
         for vm_id in retired:
-            self._free.append(self._slot_of.pop(vm_id))
+            slot = self._slot_of.pop(vm_id)
+            self._free.append(slot)
+            freed.append(slot)
             del self._vm_of[vm_id]
         self._next_sweep = max(_MIN_SWEEP, 2 * len(self._slot_of))
+        if freed and self.matrix_listener is not None:
+            self.matrix_listener.on_slots_freed(freed)
 
     @property
     def registry_size(self) -> int:

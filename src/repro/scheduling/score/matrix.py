@@ -111,15 +111,33 @@ class HostArrayCache:
     is_columnar = False
 
     def matches(self, hosts: Sequence[Host]) -> bool:
-        """Whether this cache was built from exactly these host objects."""
-        if hosts is self.hosts or hosts is self._last_match:
+        """Whether this cache was built from exactly these host objects.
+
+        The identity fast path is guarded by a length check: a host list
+        *mutated in place* (append/remove) keeps its identity, and
+        accepting it would hand out arrays for a different cluster.  A
+        same-length in-place element swap cannot be seen from here — code
+        that does that must call :meth:`invalidate_match_memo` (the
+        element-wise check then re-validates or rejects the list).
+        """
+        n = len(self.cap_cpu)
+        if (hosts is self.hosts or hosts is self._last_match) and len(hosts) == n:
             return True
-        if len(hosts) != len(self.hosts):
+        if len(hosts) != n:
             return False
         if all(a is b for a, b in zip(hosts, self.hosts)):
             self._last_match = hosts
             return True
         return False
+
+    def invalidate_match_memo(self) -> None:
+        """Drop the memoized sequence; the next :meth:`matches` re-checks.
+
+        For callers that mutate a previously matched host list in place
+        (same object, same length, different elements) — identity alone
+        cannot detect that.
+        """
+        self._last_match = None
 
 
 class ScoreMatrixBuilder:

@@ -1,0 +1,890 @@
+"""Persistent cross-round score matrix: O(dirty) rescoring.
+
+:class:`PersistentScoreMatrix` keeps the score matrix alive across
+scheduling rounds instead of rebuilding O(online x N) cells per round
+(:class:`~repro.scheduling.score.matrix.ScoreMatrixBuilder`).  It shares
+the column slot registry of
+:class:`~repro.scheduling.score.columnar.ColumnarClusterState` — a matrix
+column *is* a columnar VM slot — and stores one persistent ``(M, cap)``
+cell array plus per-slot column attributes (current host, queued flag,
+migration-penalty bucket, SLA fulfilment, current cost, argmin cache).
+
+Per round, :meth:`bind_round`:
+
+1. collects the **dirty host rows**: the engine dirty sink (every ``Host``
+   mutation, including power transitions and quarantine — the setters mark
+   dirty), rows touched hypothetically by last round's
+   :meth:`apply_move` calls, and rows whose observed-reliability override
+   changed; restores their dynamic state from the columnar ground truth
+   and rescores them across all live columns;
+2. detects **changed columns** among the round's participants by comparing
+   stored column attributes against fresh ones (placement changed, queued
+   flag flipped, migration-penalty bucket crossed, SLA fulfilment moved,
+   slot newly filled/refilled) and rescores exactly those columns across
+   the active rows;
+3. maintains ``active_rows`` incrementally (recomputed only on an
+   availability flip among the dirty rows — the steady state pays no O(M)
+   scan) and keeps the per-column argmin caches valid under the partial
+   rescoring via a generalized multi-row take/rescan rule.
+
+**The bit-identity invariant.**  Every cell is produced by the same
+elementwise float expressions as ``ScoreMatrixBuilder._score_rows`` (one
+shared formula, gathered over row/column subsets), so a cell rescored
+incrementally is bit-for-bit the cell a fresh build would compute; the
+``verify_against_fresh`` oracle and the whole-sim equality tests check
+exactly that.  Two representation changes make the incremental form
+possible without breaking it:
+
+* the migration penalty ``T_r < C_m ? 2 C_m : C_m/2`` is factorized
+  through **buckets**: with ``D`` the sorted distinct per-host migration
+  costs, a column's bucket is ``searchsorted(D, T_r, 'right')`` and the
+  predicate becomes ``cm_rank[host] >= bucket`` — columns only need
+  rescoring when ``T_r`` (monotonically decreasing) crosses a distinct
+  ``C_m`` value, not every round;
+* cells of **unavailable rows are never read** (cost lookups guard on
+  ``avail``, minima scan active rows only), so a row going offline needs
+  no O(N) +inf fill and a recycled column slot may leave garbage behind
+  rows that are off.
+
+Tie-breaking is order-deterministic under partial rescoring: dirty rows
+are processed in ascending host index (the dirty feed is a *set*; sorting
+makes the result independent of mutation order), the multi-row argmin
+takes the lowest host index on value ties, and :meth:`best_move` breaks
+value ties by lowest row then lowest column exactly like the fresh
+builder — ``tests/test_score_persistent.py`` permutes dirty-row marking
+order and asserts identical move sequences.
+
+A queued->placed :meth:`apply_move` flips the column's pricing from
+creation cost to migration penalty on *every* row; rather than rescoring
+the full column mid-round, the column is marked **stale** and lazily
+rescored in full the next time it participates in a round.  Rows touched
+by hypothetical moves are remembered and folded into the next bind's
+dirty set, so rejected actions (chaos, capacity races) cannot leave
+phantom state behind.
+"""
+
+from __future__ import annotations
+
+from collections import Counter
+from typing import Dict, List, Optional, Sequence
+
+import numpy as np
+
+from repro.cluster.host import Host
+from repro.cluster.vm import Vm
+from repro.errors import SchedulingError, StateError
+from repro.scheduling.score.columnar import ColumnarClusterState
+from repro.scheduling.score.config import ScoreConfig
+
+__all__ = ["PersistentScoreMatrix"]
+
+INF = np.inf
+
+
+def _log2_bucket(n: int) -> int:
+    """Histogram bucket for a per-bind dirty count (0, 1, 2, 4, 8, ...)."""
+    return 0 if n <= 0 else 1 << (int(n).bit_length() - 1)
+
+
+class PersistentScoreMatrix:
+    """Score matrix state surviving across ``policy.decide()`` rounds.
+
+    Duck-compatible with the slice of ``ScoreMatrixBuilder`` the
+    hill-climbing solver and the shutdown ranking consume: ``config``,
+    ``hosts``, ``columns``, ``n_rows``/``n_cols``, ``is_queued`` (round
+    order), ``host_cache``, :meth:`best_move`, :meth:`apply_move`,
+    :meth:`current_costs`, :meth:`host_row_score`.
+
+    Build one per (policy, columnar state); ``ScoreBasedPolicy`` does and
+    rebuilds it only when the cluster changes.  Requires the columnar
+    kernel (the column registry is the slot space) and the hill-climbing
+    solver (metaheuristics mutate a fresh builder destructively).
+    """
+
+    def __init__(self, state: ColumnarClusterState, config: ScoreConfig) -> None:
+        self.state = state
+        #: Alias for the fresh builder's attribute of the same name — the
+        #: shutdown ranking reads ``builder.host_cache.host_index``.
+        self.host_cache = state
+        self.config = config
+        self.hosts = state.hosts
+        self.n_rows = len(state.hosts)
+        m = self.n_rows
+
+        # ---- static host-side arrays (shared with the columnar state) ---
+        self.cap_cpu = state.cap_cpu
+        self.cap_mem = state.cap_mem
+        self.cc = state.cc
+        self.cm = state.cm
+        #: Sorted distinct migration costs and each host's rank therein:
+        #: ``tr < cm[r]``  <=>  ``cm_rank[r] >= searchsorted(D, tr, 'right')``.
+        self._cm_distinct = np.unique(state.cm)
+        self._cm_rank = np.searchsorted(self._cm_distinct, state.cm)
+        self._rel = state.rel
+        self._rel_overridden = False
+
+        # ---- persistent dynamic host rows (hypothetical-capable copies) -
+        state.sync()
+        self.avail = state.avail.copy()
+        self.res_cpu = state.res_cpu.copy()
+        self.res_mem = state.res_mem.copy()
+        self.nvms = state.nvms.copy()
+        self.conc = state.conc.copy()
+        self.pending = np.zeros(m)
+        self._active = np.nonzero(self.avail)[0]
+
+        # ---- dirty feeds ------------------------------------------------
+        #: Host ids mutated since the last bind (power transitions included
+        #: — ``Host.state``/``Host.quarantined`` setters mark dirty).
+        self._sink: set = set()
+        for h in state.hosts:
+            h.add_dirty_sink(self._sink)
+        #: Host *indices* touched hypothetically by apply_move; restored
+        #: from ground truth and rescored at the next bind.
+        self._touched: set = set()
+        #: Lazy catch-up clocks.  ``_row_stamp[r]`` is the bind at which
+        #: row ``r`` last changed; ``_col_stamp[c]`` the bind up to which
+        #: column ``c``'s cells are current.  A column participating in a
+        #: round rescoring only rows stamped later than its own stamp is
+        #: exactly caught up — non-participating columns pay nothing.
+        self._bind_idx = 0
+        self._row_stamp = np.zeros(m, dtype=np.int64)
+
+        # ---- per-slot column state --------------------------------------
+        cap = len(state.v_cpu)
+        self.scores = np.full((m, cap), INF)
+        self._peak_matrix_nbytes = self.scores.nbytes
+        self._cur = np.full(cap, -1, dtype=int)
+        self._q = np.zeros(cap, dtype=bool)
+        self._bucket = np.zeros(cap, dtype=int)
+        self._fulf = np.ones(cap)
+        self._cost = np.full(cap, config.queue_cost)
+        self._col_min_val = np.full(cap, INF)
+        self._col_min_row = np.zeros(cap, dtype=int)
+        self._frozen = np.zeros(cap, dtype=bool)
+        # Slots filled before this matrix attached start stale: their
+        # first participation forces a full column rescore.
+        self._stale = np.ones(cap, dtype=bool)
+        self._col_stamp = np.zeros(cap, dtype=np.int64)
+        self._live = np.zeros(cap, dtype=bool)
+        self._live_list = np.empty(0, dtype=int)
+        self._live_dirty = False
+        state.attach_matrix_listener(self)
+
+        # ---- round binding ----------------------------------------------
+        self.columns: List[Vm] = []
+        self.is_queued = np.zeros(0, dtype=bool)
+        self._round_slots = np.empty(0, dtype=int)
+        self.n_cols = 0
+        self.now = 0.0
+
+        # ---- observability ----------------------------------------------
+        self._cells_rescored = 0
+        self._cells_total = 0
+        self._full_rebuilds = 0
+        self._binds = 0
+        self._row_hist: Counter = Counter()
+        self._col_hist: Counter = Counter()
+
+    # -------------------------------------------------- slot registry hooks
+
+    def on_slot_filled(self, slot: int) -> None:
+        """A columnar slot was (re)filled: cells are garbage until rescored."""
+        self._stale[slot] = True
+        if self._live[slot]:
+            self._live[slot] = False
+            self._live_dirty = True
+        self._frozen[slot] = False
+        self._cur[slot] = -1
+        self._q[slot] = True
+        self._cost[slot] = self.config.queue_cost
+        self._col_min_val[slot] = INF
+        self._col_min_row[slot] = 0
+
+    def on_slots_freed(self, slots: Sequence[int]) -> None:
+        """Retired VM slots swept out of the registry: drop their columns."""
+        for slot in slots:
+            if self._live[slot]:
+                self._live[slot] = False
+                self._live_dirty = True
+            self._stale[slot] = True
+
+    def on_grow(self, new_cap: int) -> None:
+        """The slot registry doubled: grow the column dimension to match."""
+        old = self.scores.shape[1]
+        grown = np.full((self.n_rows, new_cap), INF)
+        # Both buffers are alive during the copy; peak process RSS sees
+        # old+new, so the footprint reported to the memory gate must too.
+        self._peak_matrix_nbytes = max(
+            self._peak_matrix_nbytes, self.scores.nbytes + grown.nbytes
+        )
+        grown[:, :old] = self.scores
+        self.scores = grown
+        for name, fill in (
+            ("_cur", -1),
+            ("_q", False),
+            ("_bucket", 0),
+            ("_fulf", 1.0),
+            ("_cost", self.config.queue_cost),
+            ("_col_min_val", INF),
+            ("_col_min_row", 0),
+            ("_frozen", False),
+            ("_stale", True),
+            ("_col_stamp", 0),
+            ("_live", False),
+        ):
+            arr = getattr(self, name)
+            new = np.full(new_cap, fill, dtype=arr.dtype)
+            new[:old] = arr
+            setattr(self, name, new)
+
+    def _live_cols(self) -> np.ndarray:
+        if self._live_dirty:
+            self._live_list = np.nonzero(self._live)[0]
+            self._live_dirty = False
+        return self._live_list
+
+    # ------------------------------------------------------------------ math
+
+    def _score_block(self, rows: np.ndarray, cols: np.ndarray) -> np.ndarray:
+        """Score cells for the given host rows x column slots.
+
+        The same elementwise float expressions as
+        ``ScoreMatrixBuilder._score_rows`` with the host/VM vectors
+        gathered from the persistent arrays, so each cell is bit-identical
+        to the fresh builder's.  The migration predicate is evaluated in
+        bucket space (``cm_rank >= bucket`` <=> ``tr < cm``) — same
+        booleans, same ``2*cm`` / ``cm/2`` values.
+        """
+        cfg = self.config
+        st = self.state
+        R = np.asarray(rows, dtype=int)
+        C = np.asarray(cols, dtype=int)
+        if R.size == 1:
+            # Scalar-host fast path: the hill climber's per-move row
+            # rescores land here; broadcasting overhead dwarfs the math
+            # for one row.  Bit-identical (same elementwise float ops).
+            return self._score_row_slots(int(R[0]), C)[None, :]
+        cur = self._cur[C]
+        q = self._q[C]
+        vcpu = st.v_cpu[C]
+        vmem = st.v_mem[C]
+
+        on = cur[None, :] == R[:, None]
+        add_cpu = np.where(on, 0.0, vcpu[None, :])
+        add_mem = np.where(on, 0.0, vmem[None, :])
+        occ_after = np.maximum(
+            (self.res_cpu[R][:, None] + add_cpu) / self.cap_cpu[R][:, None],
+            (self.res_mem[R][:, None] + add_mem) / self.cap_mem[R][:, None],
+        )
+        occ_now = np.maximum(
+            self.res_cpu[R] / self.cap_cpu[R],
+            self.res_mem[R] / self.cap_mem[R],
+        )[:, None]
+
+        req_ok = st.v_feas[C].T[st.class_of_host[R]]
+        feasible = req_ok & self.avail[R][:, None] & (occ_after <= 1.0 + 1e-9)
+
+        s = np.zeros((len(R), len(C)))
+        if cfg.enable_virt:
+            cm_r = self.cm[R][:, None]
+            migration = np.where(
+                self._cm_rank[R][:, None] >= self._bucket[C][None, :],
+                2.0 * cm_r,
+                cm_r / 2.0,
+            )
+            creation = np.broadcast_to(self.cc[R][:, None], migration.shape)
+            s += np.where(on, 0.0, np.where(q[None, :], creation, migration))
+        if cfg.enable_conc:
+            load = (self.conc + self.pending)[R][:, None]
+            s += np.where(on, 0.0, load)
+        if cfg.enable_pwr:
+            t_empty = (self.nvms[R][:, None] <= cfg.th_empty).astype(float)
+            s += t_empty * cfg.c_empty - occ_now * cfg.c_fill
+        if cfg.enable_sla:
+            fulf = self._fulf[C][None, :]
+            viol = on & (fulf < 1.0)
+            hard = viol & (fulf <= cfg.th_sla)
+            s += np.where(viol, cfg.c_sla, 0.0)
+            s = np.where(hard, INF, s)
+        if cfg.enable_fault:
+            s += ((1.0 - self._rel[R])[:, None] - st.v_ftol[C][None, :]) * cfg.c_fail
+
+        return np.where(feasible, s, INF)
+
+    def _score_row_slots(self, r: int, C: np.ndarray) -> np.ndarray:
+        """One host row's cells for the given slots (scalar host terms).
+
+        Same float expressions as :meth:`_score_block` with the host-side
+        vectors collapsed to scalars — every operation is the identical
+        IEEE op on the identical operands, so the result is bit-identical
+        to the batch path (asserted by the equivalence tests).
+        """
+        cfg = self.config
+        st = self.state
+        cur = self._cur[C]
+        q = self._q[C]
+        vcpu = st.v_cpu[C]
+        vmem = st.v_mem[C]
+
+        on = cur == r
+        add_cpu = np.where(on, 0.0, vcpu)
+        add_mem = np.where(on, 0.0, vmem)
+        occ_after = np.maximum(
+            (self.res_cpu[r] + add_cpu) / self.cap_cpu[r],
+            (self.res_mem[r] + add_mem) / self.cap_mem[r],
+        )
+        occ_now = max(
+            self.res_cpu[r] / self.cap_cpu[r],
+            self.res_mem[r] / self.cap_mem[r],
+        )
+
+        req_ok = st.v_feas[C, st.class_of_host[r]]
+        feasible = req_ok & self.avail[r] & (occ_after <= 1.0 + 1e-9)
+
+        s = np.zeros(len(C))
+        if cfg.enable_virt:
+            cm_r = self.cm[r]
+            migration = np.where(
+                self._cm_rank[r] >= self._bucket[C], 2.0 * cm_r, cm_r / 2.0
+            )
+            s += np.where(on, 0.0, np.where(q, self.cc[r], migration))
+        if cfg.enable_conc:
+            s += np.where(on, 0.0, self.conc[r] + self.pending[r])
+        if cfg.enable_pwr:
+            t_empty = 1.0 if self.nvms[r] <= cfg.th_empty else 0.0
+            s += t_empty * cfg.c_empty - occ_now * cfg.c_fill
+        if cfg.enable_sla:
+            fulf = self._fulf[C]
+            viol = on & (fulf < 1.0)
+            hard = viol & (fulf <= cfg.th_sla)
+            s += np.where(viol, cfg.c_sla, 0.0)
+            s = np.where(hard, INF, s)
+        if cfg.enable_fault:
+            s += ((1.0 - self._rel[r]) - st.v_ftol[C]) * cfg.c_fail
+
+        return np.where(feasible, s, INF)
+
+    # ---------------------------------------------------------------- costs
+
+    def _soft_current_cost(self, r: int, slot: int) -> Optional[float]:
+        """``reprice_hard_sla`` soft pricing — mirrors the fresh builder."""
+        cfg = self.config
+        st = self.state
+        if not self.avail[r] or not st.v_feas[slot, st.class_of_host[r]]:
+            return None
+        occ_now = max(
+            self.res_cpu[r] / self.cap_cpu[r], self.res_mem[r] / self.cap_mem[r]
+        )
+        if not occ_now <= 1.0 + 1e-9:
+            return None
+        s = 0.0
+        if cfg.enable_pwr:
+            t_empty = 1.0 if self.nvms[r] <= cfg.th_empty else 0.0
+            s += t_empty * cfg.c_empty - occ_now * cfg.c_fill
+        if cfg.enable_sla and self._fulf[slot] < 1.0:
+            s += cfg.c_sla
+        if cfg.enable_fault:
+            s += ((1.0 - self._rel[r]) - st.v_ftol[slot]) * cfg.c_fail
+        return float(s)
+
+    def _compute_costs(self, slots: np.ndarray) -> np.ndarray:
+        """Per-slot current costs from the stored cells (fresh semantics).
+
+        Unavailable current hosts read as +inf without touching the cell
+        array (their rows may hold garbage); infinite cells fall back to
+        ``queue_cost`` or — under ``reprice_hard_sla`` — the soft pricing.
+        """
+        cfg = self.config
+        costs = np.full(len(slots), cfg.queue_cost)
+        cur = self._cur[slots]
+        placed = np.nonzero(cur >= 0)[0]
+        if placed.size:
+            rows = cur[placed]
+            vals = np.where(
+                self.avail[rows], self.scores[rows, slots[placed]], INF
+            )
+            finite = np.isfinite(vals)
+            costs[placed[finite]] = vals[finite]
+            if cfg.reprice_hard_sla and not finite.all():
+                for k in placed[~finite]:
+                    soft = self._soft_current_cost(
+                        int(cur[k]), int(slots[k])
+                    )
+                    if soft is not None:
+                        costs[k] = soft
+        return costs
+
+    # --------------------------------------------------------------- minima
+
+    def _refresh_minima(self, slots: np.ndarray) -> None:
+        """From-scratch (value, argmin-row) of the diff for these slots."""
+        if not len(slots):
+            return
+        live = slots[~self._frozen[slots]]
+        dead = slots[self._frozen[slots]]
+        if dead.size:
+            self._col_min_val[dead] = INF
+            self._col_min_row[dead] = 0
+        if live.size:
+            act = self._active
+            if act.size == 0:
+                self._col_min_val[live] = INF
+                self._col_min_row[live] = 0
+                return
+            sub = self.scores[np.ix_(act, live)] - self._cost[live][None, :]
+            k = np.argmin(sub, axis=0)
+            self._col_min_row[live] = act[k]
+            self._col_min_val[live] = sub[k, np.arange(len(live))]
+
+    # ----------------------------------------------------------------- bind
+
+    def bind_round(
+        self,
+        columns: Sequence[Vm],
+        now: float,
+        fulfillments: Optional[Dict[int, float]] = None,
+        reliability: Optional[Sequence[float]] = None,
+    ) -> None:
+        """Synchronize with ground truth and bind this round's columns.
+
+        O(dirty rows x live columns + changed columns x active rows); the
+        steady state (no host churn, no column churn) pays only the
+        per-column attribute comparison.
+        """
+        cfg = self.config
+        st = self.state
+        st.sync()
+        self._bind_idx += 1
+        t = self._bind_idx
+
+        # ---- dirty host rows --------------------------------------------
+        index = st.host_index
+        dirty = {index[hid] for hid in self._sink}
+        self._sink.clear()
+        dirty |= self._touched
+        self._touched = set()
+        if reliability is not None:
+            rel = np.asarray(reliability, dtype=float)
+            changed = np.nonzero(rel != self._rel)[0]
+            dirty.update(int(i) for i in changed)
+            self._rel = rel
+            self._rel_overridden = True
+        elif self._rel_overridden:
+            changed = np.nonzero(st.rel != self._rel)[0]
+            dirty.update(int(i) for i in changed)
+            self._rel = st.rel
+            self._rel_overridden = False
+
+        # Ascending host order: the dirty feed is a set, sorting makes
+        # every downstream tie-break independent of mutation order.
+        if dirty:
+            hs = np.fromiter(sorted(dirty), dtype=int, count=len(dirty))
+            self._row_stamp[hs] = t
+            avail_new = st.avail[hs]
+            if not np.array_equal(self.avail[hs], avail_new):
+                self.avail[hs] = avail_new
+                self._active = np.nonzero(self.avail)[0]
+            self.res_cpu[hs] = st.res_cpu[hs]
+            self.res_mem[hs] = st.res_mem[hs]
+            self.nvms[hs] = st.nvms[hs]
+            self.conc[hs] = st.conc[hs]
+            self.pending[hs] = 0.0
+        else:
+            hs = np.empty(0, dtype=int)
+        act = self._active
+
+        # ---- columns ----------------------------------------------------
+        slots, cur, q, tr = st.prepare_columns(columns, now)
+        if self._cm_distinct.size:
+            bucket = np.searchsorted(self._cm_distinct, tr, side="right")
+        else:
+            bucket = np.zeros(len(columns), dtype=int)
+        if cfg.enable_sla:
+            if fulfillments is None:
+                raise SchedulingError("enable_sla requires a fulfillments map")
+            fulf = np.array(
+                [fulfillments.get(vm.vm_id, 1.0) for vm in columns]
+            )
+        else:
+            fulf = np.ones(len(columns))
+
+        changed = (
+            self._stale[slots]
+            | (self._cur[slots] != cur)
+            | (self._q[slots] != q)
+            | (~q & (self._bucket[slots] != bucket))
+        )
+        if cfg.enable_sla:
+            changed |= self._fulf[slots] != fulf
+        was_frozen = slots[self._frozen[slots]]
+        self._cur[slots] = cur
+        self._q[slots] = q
+        self._bucket[slots] = bucket
+        self._fulf[slots] = fulf
+        self._frozen[slots] = False
+        self._stale[slots] = False
+        newly = slots[~self._live[slots]]
+        if newly.size:
+            self._live[newly] = True
+            self._live_dirty = True
+        cols_changed = np.sort(slots[changed])
+
+        # ---- full rescore: stale/changed columns x active rows ----------
+        if cols_changed.size and act.size:
+            self.scores[np.ix_(act, cols_changed)] = self._score_block(
+                act, cols_changed
+            )
+            self._cells_rescored += act.size * cols_changed.size
+
+        # ---- lazy catch-up: participating columns behind on row churn ---
+        # A column's cells are current up to its ``_col_stamp``; only rows
+        # stamped later changed since it last participated.  Group columns
+        # by stamp (steady state: one group — last round's queue catching
+        # up on this round's dirty rows) and rescore rows-behind x group.
+        # Non-participating columns pay nothing until they return.
+        groups = []
+        lagged = slots[~changed]
+        if lagged.size:
+            stamps = self._col_stamp[lagged]
+            for s in np.unique(stamps):
+                grp = lagged[stamps == s]
+                rows = np.nonzero(self._row_stamp > s)[0]
+                if rows.size:
+                    groups.append((s, grp, rows))
+                    self.scores[np.ix_(rows, grp)] = self._score_block(
+                        rows, grp
+                    )
+                    self._cells_rescored += rows.size * grp.size
+
+        # ---- current costs (changed cols + cols homed on changed rows) --
+        parts = [cols_changed]
+        for s, grp, rows in groups:
+            cur_g = self._cur[grp]
+            placed = cur_g >= 0
+            if placed.any():
+                home = np.where(placed, cur_g, 0)
+                parts.append(grp[placed & (self._row_stamp[home] > s)])
+        affected = (
+            np.unique(np.concatenate(parts)) if len(parts) > 1 else cols_changed
+        )
+        if affected.size:
+            old = self._cost[affected].copy()
+            new = self._compute_costs(affected)
+            # A cost change shifts the whole diff column uniformly; +inf
+            # cached minima absorb the shift.
+            self._col_min_val[affected] += old - new
+            self._cost[affected] = new
+
+        # ---- argmin maintenance: generalized multi-row take/rescan ------
+        rescan_parts = [cols_changed, was_frozen]
+        for s, grp, rows in groups:
+            sub = self.scores[np.ix_(rows, grp)] - self._cost[grp][None, :]
+            k = np.argmin(sub, axis=0)  # rows ascending: lowest host wins
+            w = sub[k, np.arange(grp.size)]
+            rw = rows[k]
+            v = self._col_min_val[grp]
+            r = self._col_min_row[grp]
+            in_t = self._row_stamp[r] > s
+            take = (
+                (w < v) | ((w == v) & (rw < r)) | (in_t & (w == v) & (rw <= r))
+            )
+            rescan_parts.append(grp[in_t & ~take])
+            if take.any():
+                tk = grp[take]
+                self._col_min_val[tk] = w[take]
+                self._col_min_row[tk] = rw[take]
+        self._refresh_minima(np.unique(np.concatenate(rescan_parts)))
+        self._col_stamp[slots] = t
+
+        # ---- round binding ----------------------------------------------
+        self._round_slots = slots
+        self.columns = list(columns)
+        self.is_queued = q.copy()
+        self.n_cols = len(self.columns)
+        self.now = float(now)
+
+        # ---- observability ----------------------------------------------
+        self._binds += 1
+        # Counterfactual: a fresh builder scores every row (available or
+        # not) for every round column.
+        self._cells_total += self.n_rows * slots.size
+        self._row_hist[_log2_bucket(hs.size)] += 1
+        self._col_hist[_log2_bucket(cols_changed.size)] += 1
+
+    # ------------------------------------------------------------ interface
+
+    def current_costs(self) -> np.ndarray:
+        """Per-column (round order) cost of the status quo."""
+        return self._cost[self._round_slots].copy()
+
+    def best_move(self) -> Optional[tuple]:
+        """``(row, col, gain)`` of the most negative diff cell, O(N_round).
+
+        Bit-identical tie-breaking to the fresh builder: lowest row first,
+        then lowest column (round order).
+        """
+        if self.n_cols == 0 or self.n_rows == 0:
+            return None
+        vals = self._col_min_val[self._round_slots]
+        best = float(np.min(vals))
+        if not np.isfinite(best):
+            return 0, int(np.argmin(vals)), best
+        ties = np.nonzero(vals == best)[0]
+        rows = self._col_min_row[self._round_slots[ties]]
+        k = int(np.argmin(rows))
+        return int(rows[k]), int(ties[k]), best
+
+    def apply_move(self, col: int, row: int) -> None:
+        """Hypothetically move round column ``col`` to host ``row``.
+
+        Mirrors the fresh builder move-for-move (occupancy bookkeeping,
+        pending concurrency, freeze, <=2 row rescores restricted to the
+        round's columns, take/rescan cache maintenance) and additionally
+        remembers the touched rows for the next bind and marks a
+        queued->placed column stale (its pricing flipped on every row;
+        the full rescore is deferred to its next participation).
+        """
+        slot = int(self._round_slots[col])
+        if self._frozen[slot]:
+            raise SchedulingError(f"column {col} is frozen")
+        if not (0 <= row < self.n_rows):
+            raise SchedulingError(f"row {row} out of range")
+        old = int(self._cur[slot])
+        if old == row:
+            raise SchedulingError("move must change the host")
+        st = self.state
+        vcpu = st.v_cpu[slot]
+        vmem = st.v_mem[slot]
+
+        if old >= 0:
+            self.res_cpu[old] -= vcpu
+            self.res_mem[old] -= vmem
+            self.nvms[old] -= 1
+        self.res_cpu[row] += vcpu
+        self.res_mem[row] += vmem
+        self.nvms[row] += 1
+        placement = bool(self._q[slot])
+        self.pending[row] += self.cc[row] if placement else self.cm[row]
+
+        self._cur[slot] = row
+        self._q[slot] = False
+        self.is_queued[col] = False
+        self._frozen[slot] = True
+        if placement:
+            self._stale[slot] = True
+
+        touched = [row] if old < 0 else sorted({old, row})
+        self._touched.update(touched)
+        rs = self._round_slots
+        for t in touched:
+            self.scores[t, rs] = self._score_block(
+                np.array([t], dtype=int), rs
+            )[0]
+        self._cells_rescored += len(touched) * rs.size
+        self._cells_total += len(touched) * rs.size
+
+        # ---- cache maintenance (fresh builder's rules, round slots) -----
+        self._col_min_val[slot] = INF
+        self._col_min_row[slot] = 0
+
+        cur_r = self._cur[rs]
+        homed = cur_r == touched[0]
+        if len(touched) == 2:
+            homed |= cur_r == touched[1]
+        homed_slots = rs[np.nonzero(homed)[0]]
+        if homed_slots.size:
+            old_costs = self._cost[homed_slots].copy()
+            new_costs = self._compute_costs(homed_slots)
+            self._col_min_val[homed_slots] += old_costs - new_costs
+            self._cost[homed_slots] = new_costs
+
+        lv = ~self._frozen[rs]
+        v = self._col_min_val[rs]
+        r = self._col_min_row[rs]
+        if len(touched) == 1:
+            t0 = touched[0]
+            w = self.scores[t0, rs] - self._cost[rs]
+            take = lv & ((w < v) | ((w == v) & (r >= t0)))
+            rescan = lv & (r == t0) & (w > v)
+            if take.any():
+                t = rs[take]
+                self._col_min_val[t] = w[take]
+                self._col_min_row[t] = t0
+        else:
+            d0 = self.scores[touched[0], rs] - self._cost[rs]
+            d1 = self.scores[touched[1], rs] - self._cost[rs]
+            first = d0 <= d1
+            w = np.where(first, d0, d1)
+            rw = np.where(first, touched[0], touched[1])
+            in_t = (r == touched[0]) | (r == touched[1])
+            take = (
+                (w < v) | ((w == v) & (rw < r)) | (in_t & (w == v) & (rw <= r))
+            ) & lv
+            rescan = lv & in_t & ~take
+            if take.any():
+                t = rs[take]
+                self._col_min_val[t] = w[take]
+                self._col_min_row[t] = rw[take]
+        if rescan.any():
+            self._refresh_minima(rs[rescan])
+
+    def host_row_score(self, row: int) -> float:
+        """Aggregated row score for shutdown ranking (fresh semantics)."""
+        if self.n_cols == 0:
+            return 0.0
+        qc = self.config.queue_cost
+        if not self.avail[row]:
+            vals = np.full(self.n_cols, qc)
+        else:
+            vals = self.scores[row, self._round_slots].copy()
+            vals[~np.isfinite(vals)] = qc
+        return float(vals.mean())
+
+    # --------------------------------------------------------------- oracle
+
+    def verify_against_fresh(
+        self,
+        columns: Sequence[Vm],
+        now: float,
+        fulfillments: Optional[Dict[int, float]] = None,
+        reliability: Optional[Sequence[float]] = None,
+    ) -> bool:
+        """Oracle: compare against a from-scratch ``ScoreMatrixBuilder``.
+
+        Valid right after :meth:`bind_round` with the same arguments (the
+        bound state is then real, not hypothetical).  Compares cells on
+        active rows, current costs, and the argmin caches for every round
+        column; raises :class:`~repro.errors.StateError` on any mismatch.
+        """
+        from repro.scheduling.score.matrix import ScoreMatrixBuilder
+
+        fresh = ScoreMatrixBuilder(
+            hosts=self.hosts,
+            columns=columns,
+            now=now,
+            config=self.config,
+            fulfillments=fulfillments,
+            host_cache=self.state,
+            reliability=reliability,
+        )
+        rs = self._round_slots
+        act = self._active
+        if not np.array_equal(act, np.nonzero(fresh.avail)[0]):
+            raise StateError("persistent matrix drift: active row set")
+        if act.size and rs.size:
+            mine = self.scores[np.ix_(act, rs)]
+            theirs = fresh.scores[act]
+            if not np.array_equal(mine, theirs):
+                bad = np.nonzero(mine != theirs)
+                r0, c0 = int(bad[0][0]), int(bad[1][0])
+                raise StateError(
+                    "persistent matrix drift: cell "
+                    f"(host {int(act[r0])}, col {c0}) "
+                    f"{mine[r0, c0]!r} != fresh {theirs[r0, c0]!r}"
+                )
+        for label, mine_a, fresh_a in (
+            ("cost", self._cost[rs], fresh._cur_costs),
+            ("min_val", self._col_min_val[rs], fresh._col_min_val),
+        ):
+            if not np.array_equal(mine_a, fresh_a):
+                j = int(np.nonzero(mine_a != fresh_a)[0][0])
+                raise StateError(
+                    f"persistent matrix drift: {label}[{j}] "
+                    f"{mine_a[j]!r} != fresh {fresh_a[j]!r}"
+                )
+        finite = np.isfinite(self._col_min_val[rs])
+        if not np.array_equal(
+            self._col_min_row[rs][finite], fresh._col_min_row[finite]
+        ):
+            raise StateError("persistent matrix drift: argmin row")
+        return True
+
+    def verify_cells(self) -> bool:
+        """Internal-consistency oracle for the engine's strict mode.
+
+        Recomputes every non-stale live column's cells/cost/argmin from
+        the matrix's *own* stored attribute arrays and compares with the
+        incrementally maintained values.  Rows touched by hypothetical
+        moves since the last bind are excluded (their pending concurrency
+        is round-local by design), as are columns homed on or argmin'd at
+        such rows.  Raises :class:`~repro.errors.StateError` on mismatch.
+        """
+        live = self._live_cols()
+        check = live[~self._stale[live]]
+        # Lazily-behind columns (absent from recent rounds) are stale by
+        # design — only columns caught up to the current bind are checkable.
+        check = check[self._col_stamp[check] == self._bind_idx]
+        act = self._active
+        touched = np.fromiter(sorted(self._touched), dtype=int) if self._touched else np.empty(0, dtype=int)
+        rows = np.setdiff1d(act, touched) if touched.size else act
+        if not check.size or not rows.size:
+            return True
+        expect = self._score_block(rows, check)
+        got = self.scores[np.ix_(rows, check)]
+        if not np.array_equal(expect, got):
+            bad = np.nonzero(expect != got)
+            r0, c0 = int(bad[0][0]), int(bad[1][0])
+            raise StateError(
+                "persistent matrix cell drift: "
+                f"(host {int(rows[r0])}, slot {int(check[c0])}) "
+                f"cached {got[r0, c0]!r} != recomputed {expect[r0, c0]!r}"
+            )
+        stable = check[~np.isin(self._cur[check], touched)] if touched.size else check
+        if stable.size:
+            costs = self._compute_costs(stable)
+            if not np.array_equal(costs, self._cost[stable]):
+                j = int(np.nonzero(costs != self._cost[stable])[0][0])
+                raise StateError(
+                    f"persistent matrix cost drift: slot {int(stable[j])} "
+                    f"cached {self._cost[stable][j]!r} != {costs[j]!r}"
+                )
+            nf = stable[~self._frozen[stable]]
+            if touched.size and nf.size:
+                nf = nf[~np.isin(self._col_min_row[nf], touched)]
+            if nf.size and rows.size:
+                # The cached argmin row of every remaining column is in
+                # the scanned subset (touched-row argmins were filtered),
+                # so the partial scan must reproduce it exactly.
+                sub = self.scores[np.ix_(rows, nf)] - self._cost[nf][None, :]
+                k = np.argmin(sub, axis=0)
+                val = sub[k, np.arange(nf.size)]
+                row = rows[k]
+                fin = np.isfinite(self._col_min_val[nf])
+                ok = (val == self._col_min_val[nf]) & (
+                    (row == self._col_min_row[nf]) | ~fin
+                )
+                if not ok.all():
+                    j = int(np.nonzero(~ok)[0][0])
+                    raise StateError(
+                        f"persistent matrix argmin drift: slot {int(nf[j])} "
+                        f"cached ({self._col_min_val[nf][j]!r}, "
+                        f"{int(self._col_min_row[nf][j])}) != recomputed "
+                        f"({val[j]!r}, {int(row[j])})"
+                    )
+        return True
+
+    def force_full_rebuild(self) -> None:
+        """Mark everything dirty; the next bind rebuilds from ground truth."""
+        self._full_rebuilds += 1
+        self._touched.update(range(self.n_rows))
+        live = self._live_cols()
+        self._stale[live] = True
+
+    # ---------------------------------------------------------------- stats
+
+    def stats(self) -> Dict[str, float]:
+        """Flat counters for ``SimulationResult.rescore_stats``."""
+        out: Dict[str, float] = {
+            "binds": float(self._binds),
+            "cells_rescored": float(self._cells_rescored),
+            "cells_total": float(self._cells_total),
+            "full_rebuilds": float(self._full_rebuilds),
+            "capacity": float(self.scores.shape[1]),
+            "matrix_nbytes": float(self._peak_matrix_nbytes),
+        }
+        for bucket, count in sorted(self._row_hist.items()):
+            out[f"dirty_rows_{bucket}"] = float(count)
+        for bucket, count in sorted(self._col_hist.items()):
+            out[f"dirty_cols_{bucket}"] = float(count)
+        return out

@@ -20,15 +20,19 @@ down before fast ones.
 
 from __future__ import annotations
 
-from typing import Callable, Dict, List, Optional, Sequence
+import os
+import warnings
+from typing import Callable, Dict, List, Optional, Sequence, Union
 
 from repro.cluster.host import Host
 from repro.cluster.vm import Vm, VmState
+from repro.errors import StateError
 from repro.scheduling.actions import Action, Migrate, Place
 from repro.scheduling.base import SchedulingContext, SchedulingPolicy
 from repro.scheduling.score.columnar import ColumnarClusterState
 from repro.scheduling.score.config import ScoreConfig
 from repro.scheduling.score.matrix import HostArrayCache, ScoreMatrixBuilder
+from repro.scheduling.score.persistent import PersistentScoreMatrix
 from repro.scheduling.score.solver import hill_climb
 from repro.sla.monitor import fulfillment
 
@@ -62,6 +66,7 @@ class ScoreBasedPolicy(SchedulingPolicy):
         solver: str = "hill_climb",
         solver_seed: int = 0,
         use_columnar: bool = True,
+        use_persistent_matrix: Optional[bool] = None,
     ) -> None:
         self.config = config or ScoreConfig.sb()
         self.supports_migration = self.config.allow_migration
@@ -77,6 +82,29 @@ class ScoreBasedPolicy(SchedulingPolicy):
             from repro.errors import ConfigurationError
 
             raise ConfigurationError(f"unknown solver {solver!r}")
+        #: Persistent cross-round score matrix switch.  Defaults to on
+        #: whenever its prerequisites hold (columnar kernel + the
+        #: hill-climbing solver — metaheuristics mutate a fresh builder);
+        #: pass False to force the per-round rebuild (A/B benchmarking,
+        #: the persistent-vs-fresh oracle).
+        if use_persistent_matrix is None:
+            use_persistent_matrix = use_columnar and solver == "hill_climb"
+        elif use_persistent_matrix and not (
+            use_columnar and solver == "hill_climb"
+        ):
+            from repro.errors import ConfigurationError
+
+            raise ConfigurationError(
+                "use_persistent_matrix requires use_columnar and the "
+                "hill_climb solver"
+            )
+        self.use_persistent_matrix = use_persistent_matrix
+        self._matrix: Optional[PersistentScoreMatrix] = None
+        #: Strict-mode self-check: every bind is verified against a fresh
+        #: build (same env convention as the engine's invariant sweeps).
+        self._verify_mode = os.environ.get(
+            "REPRO_STRICT_INVARIANTS", ""
+        ).lower()
         self.name = name if name is not None else self._derive_name()
         self._next_consolidation = 0.0
         self._host_cache: Optional[HostArrayCache] = None
@@ -127,6 +155,57 @@ class ScoreBasedPolicy(SchedulingPolicy):
             return "SB1"
         return "SB0"
 
+    # -------------------------------------------------------------- building
+
+    def _builder(
+        self,
+        ctx: SchedulingContext,
+        columns: List[Vm],
+        fulfills: Optional[Dict[int, float]],
+    ) -> Union[ScoreMatrixBuilder, PersistentScoreMatrix]:
+        """The round's matrix: persistent (bound to this round) or fresh.
+
+        The persistent matrix survives across rounds and rescores only
+        dirty rows/changed columns; it is rebuilt only when the host
+        cache is (a new cluster).  Under ``REPRO_STRICT_INVARIANTS`` every
+        bind is verified against a from-scratch build (``raise`` mode
+        propagates the drift, ``resync`` forces a full rebuild).
+        """
+        cache = self._cached_host_arrays(ctx)
+        reliability = self._reliability_vector(ctx)
+        if not (self.use_persistent_matrix and cache.is_columnar):
+            return ScoreMatrixBuilder(
+                hosts=ctx.hosts,
+                columns=columns,
+                now=ctx.now,
+                config=self.config,
+                fulfillments=fulfills,
+                host_cache=cache,
+                reliability=reliability,
+            )
+        matrix = self._matrix
+        if matrix is None or matrix.state is not cache:
+            matrix = PersistentScoreMatrix(cache, self.config)
+            self._matrix = matrix
+        matrix.bind_round(columns, ctx.now, fulfills, reliability)
+        if self._verify_mode in ("raise", "resync"):
+            try:
+                matrix.verify_against_fresh(
+                    columns, ctx.now, fulfills, reliability
+                )
+            except StateError as exc:
+                if self._verify_mode == "raise":
+                    raise
+                warnings.warn(
+                    f"t={ctx.now:.0f}s: persistent matrix drift, full "
+                    f"rebuild forced: {exc}",
+                    RuntimeWarning,
+                    stacklevel=2,
+                )
+                matrix.force_full_rebuild()
+                matrix.bind_round(columns, ctx.now, fulfills, reliability)
+        return matrix
+
     # -------------------------------------------------------------- deciding
 
     def _columns(self, ctx: SchedulingContext, *, include_running: bool = True) -> List[Vm]:
@@ -168,15 +247,7 @@ class ScoreBasedPolicy(SchedulingPolicy):
         fulfills: Optional[Dict[int, float]] = None
         if self.config.enable_sla:
             fulfills = {vm.vm_id: fulfillment(vm, ctx.now) for vm in columns}
-        builder = ScoreMatrixBuilder(
-            hosts=ctx.hosts,
-            columns=columns,
-            now=ctx.now,
-            config=self.config,
-            fulfillments=fulfills,
-            host_cache=self._cached_host_arrays(ctx),
-            reliability=self._reliability_vector(ctx),
-        )
+        builder = self._builder(ctx, columns, fulfills)
         if self.solver == "hill_climb":
             moves = hill_climb(builder)
         else:
@@ -209,15 +280,7 @@ class ScoreBasedPolicy(SchedulingPolicy):
         fulfills: Optional[Dict[int, float]] = None
         if self.config.enable_sla:
             fulfills = {vm.vm_id: fulfillment(vm, ctx.now) for vm in columns}
-        builder = ScoreMatrixBuilder(
-            hosts=ctx.hosts,
-            columns=columns,
-            now=ctx.now,
-            config=self.config,
-            fulfillments=fulfills,
-            host_cache=self._cached_host_arrays(ctx),
-            reliability=self._reliability_vector(ctx),
-        )
+        builder = self._builder(ctx, columns, fulfills)
         row_of = builder.host_cache.host_index
         return sorted(
             candidates,

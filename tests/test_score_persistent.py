@@ -1,0 +1,447 @@
+"""Oracles and regressions for the persistent cross-round score matrix.
+
+The :class:`PersistentScoreMatrix` keeps the score matrix alive between
+scheduling rounds and rescores only dirty rows and changed columns.  That
+is an optimization with no semantic license: every bound round must be
+**bit-identical** to a from-scratch :class:`ScoreMatrixBuilder` over the
+same cluster.  Three layers enforce it here:
+
+* a hypothesis driver that interleaves arbitrary world mutations
+  (arrivals, completions, requeues, migrations, power flips, quarantine,
+  requirement inflation, reliability overrides) between binds, verifies
+  every bind against a fresh build, and asserts the hill climber emits
+  the exact same move sequence from both matrices — including rounds
+  where chosen moves are *rejected* (never applied to the world), which
+  stresses the hypothetical-touched-row restoration path;
+* a whole-simulation oracle: persistent on vs off must produce the same
+  result row, including under operation-level chaos;
+* order-determinism: the same set of world mutations applied in
+  different orders must yield identical matrices and move sequences
+  (the dirty feed is a set; binding sorts it).
+
+Plus the :class:`HostArrayCache` match-memoization regressions and the
+``rescore_stats`` observability contract.
+"""
+
+import itertools
+from types import SimpleNamespace
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.cluster.host import Host, HostState
+from repro.cluster.spec import FAST, MEDIUM, SLOW, HostSpec
+from repro.cluster.vm import Vm, VmState
+from repro.errors import ConfigurationError, StateError
+from repro.scheduling.score import ScoreConfig, ScoreMatrixBuilder
+from repro.scheduling.score.columnar import ColumnarClusterState
+from repro.scheduling.score.matrix import HostArrayCache
+from repro.scheduling.score.persistent import PersistentScoreMatrix
+from repro.scheduling.score.policy import ScoreBasedPolicy
+from repro.scheduling.score.solver import hill_climb
+from repro.workload.job import Job
+
+CLASSES = [FAST, MEDIUM, SLOW]
+
+
+def make_vm(vm_id, cpu=100.0, mem=512.0, runtime=3600.0, **job_kw):
+    job = Job(job_id=vm_id, submit_time=0.0, runtime_s=runtime,
+              cpu_pct=cpu, mem_mb=mem, **job_kw)
+    return Vm(job)
+
+
+def make_host(host_id, node_class=MEDIUM, state=HostState.ON, **kw):
+    return Host(HostSpec(host_id=host_id, node_class=node_class, **kw),
+                initial_state=state)
+
+
+def place(host, vm):
+    vm.state = VmState.RUNNING
+    host.add_vm(vm)
+
+
+# --------------------------------------------------------------------------
+# Layer 1: episodic hypothesis oracle
+# --------------------------------------------------------------------------
+
+
+class World:
+    """A tiny mutable cluster the episodes drive directly (no engine)."""
+
+    def __init__(self, hosts):
+        self.hosts = hosts
+        self.index = {h.host_id: i for i, h in enumerate(hosts)}
+        self.vms = {}
+        self.next_vm = 100
+
+    def running(self):
+        return [v for v in self.vms.values() if v.state is VmState.RUNNING]
+
+    def queued(self):
+        return [v for v in self.vms.values() if v.state is VmState.QUEUED]
+
+    def host_of(self, vm):
+        return self.hosts[self.index[vm.host_id]]
+
+
+def _mutate(world, data):
+    """Apply one random world mutation; no-op when preconditions fail."""
+    op = data.draw(st.sampled_from(
+        ["arrive", "complete", "requeue", "migrate", "power",
+         "quarantine", "inflate"]), label="op")
+    if op == "arrive":
+        vm = make_vm(
+            world.next_vm,
+            cpu=data.draw(st.sampled_from([50.0, 100.0, 200.0, 400.0])),
+            mem=data.draw(st.sampled_from([128.0, 512.0, 1024.0])),
+            runtime=data.draw(st.floats(min_value=120.0, max_value=7200.0)),
+            fault_tolerance=data.draw(st.floats(min_value=0.0, max_value=1.0)),
+        )
+        world.next_vm += 1
+        world.vms[vm.vm_id] = vm
+        on = [h for h in world.hosts if h.state is HostState.ON]
+        if on and data.draw(st.booleans()):
+            place(data.draw(st.sampled_from(on)), vm)
+    elif op == "complete":
+        running = world.running()
+        if running:
+            vm = data.draw(st.sampled_from(running))
+            world.host_of(vm).remove_vm(vm.vm_id)
+            vm.state = VmState.COMPLETED
+            del world.vms[vm.vm_id]
+    elif op == "requeue":
+        running = world.running()
+        if running:
+            vm = data.draw(st.sampled_from(running))
+            world.host_of(vm).remove_vm(vm.vm_id)
+            vm.state = VmState.QUEUED
+            vm.host_id = None
+    elif op == "migrate":
+        running = world.running()
+        on = [h for h in world.hosts if h.state is HostState.ON]
+        if running and on:
+            vm = data.draw(st.sampled_from(running))
+            dst = data.draw(st.sampled_from(on))
+            if dst.host_id != vm.host_id:
+                world.host_of(vm).remove_vm(vm.vm_id)
+                dst.add_vm(vm)
+    elif op == "power":
+        host = data.draw(st.sampled_from(world.hosts))
+        if host.state is HostState.OFF:
+            host.state = HostState.ON
+        elif host.state is HostState.ON and not host.vms:
+            host.state = HostState.OFF
+    elif op == "quarantine":
+        host = data.draw(st.sampled_from(world.hosts))
+        host.quarantined = not host.quarantined
+    elif op == "inflate":
+        if world.vms:
+            vm = data.draw(st.sampled_from(list(world.vms.values())))
+            vm.cpu_req = vm.cpu_req * 1.25
+
+
+class TestScalarRowPath:
+    @settings(max_examples=40, deadline=None)
+    @given(data=st.data())
+    def test_single_row_block_bit_identical_to_batch(self, data):
+        """_score_block's scalar-host fast path must equal the batch path."""
+        n_hosts = data.draw(st.integers(min_value=2, max_value=5))
+        hosts = [make_host(
+            i,
+            node_class=data.draw(st.sampled_from(CLASSES)),
+            reliability=data.draw(st.floats(min_value=0.5, max_value=1.0)),
+        ) for i in range(n_hosts)]
+        vms = [make_vm(
+            100 + v,
+            cpu=data.draw(st.sampled_from([50.0, 100.0, 400.0])),
+            fault_tolerance=data.draw(st.floats(min_value=0.0, max_value=1.0)),
+        ) for v in range(4)]
+        place(hosts[0], vms[0])
+        config = getattr(ScoreConfig, data.draw(
+            st.sampled_from(["sb0", "sb2", "sb", "full"])))()
+        cache = ColumnarClusterState(hosts)
+        matrix = PersistentScoreMatrix(cache, config)
+        fulf = ({vm.vm_id: data.draw(st.floats(min_value=0.0, max_value=1.2))
+                 for vm in vms} if config.enable_sla else None)
+        matrix.bind_round(vms, 500.0, fulf)
+        slots = matrix._round_slots
+        batch = matrix._score_block(np.arange(n_hosts), slots)
+        for r in range(n_hosts):
+            single = matrix._score_block(np.array([r]), slots)[0]
+            assert np.array_equal(single, batch[r]), (r, single, batch[r])
+
+
+class TestEpisodicOracle:
+    @settings(max_examples=30, deadline=None)
+    @given(data=st.data())
+    def test_persistent_equals_fresh_under_arbitrary_interleavings(self, data):
+        n_hosts = data.draw(st.integers(min_value=2, max_value=6),
+                            label="n_hosts")
+        hosts = []
+        for i in range(n_hosts):
+            hosts.append(make_host(
+                i,
+                node_class=data.draw(st.sampled_from(CLASSES)),
+                state=data.draw(st.sampled_from(
+                    [HostState.ON, HostState.ON, HostState.OFF])),
+                reliability=data.draw(st.floats(min_value=0.5, max_value=1.0)),
+            ))
+        preset = data.draw(st.sampled_from(["sb0", "sb2", "sb", "full"]),
+                           label="preset")
+        config = getattr(ScoreConfig, preset)()
+        world = World(hosts)
+        cache = ColumnarClusterState(hosts)
+        matrix = PersistentScoreMatrix(cache, config)
+
+        now = 0.0
+        n_rounds = data.draw(st.integers(min_value=2, max_value=6),
+                             label="n_rounds")
+        for _ in range(n_rounds):
+            for _ in range(data.draw(st.integers(min_value=0, max_value=5))):
+                _mutate(world, data)
+            now += data.draw(st.floats(min_value=1.0, max_value=3600.0))
+
+            columns = world.queued()
+            if config.allow_migration and data.draw(st.booleans()):
+                columns = columns + world.running()
+            fulf = None
+            if config.enable_sla:
+                fulf = {vm.vm_id: data.draw(
+                    st.floats(min_value=0.0, max_value=1.2))
+                    for vm in columns}
+            rel = None
+            if config.enable_fault and data.draw(st.booleans()):
+                rel = [data.draw(st.floats(min_value=0.5, max_value=1.0))
+                       for _ in hosts]
+
+            matrix.bind_round(columns, now, fulf, rel)
+            # Bit-identity of cells, costs, and argmin caches.
+            assert matrix.verify_against_fresh(columns, now, fulf, rel)
+            # Internal consistency of the incrementally maintained state.
+            assert matrix.verify_cells()
+
+            fresh = ScoreMatrixBuilder(
+                hosts=hosts, columns=columns, now=now, config=config,
+                fulfillments=fulf, host_cache=cache, reliability=rel,
+            )
+            persistent_moves = hill_climb(matrix)
+            fresh_moves = hill_climb(fresh)
+            assert persistent_moves == fresh_moves
+
+            # Accept a random subset of the chosen moves; the rejected
+            # remainder leaves the matrix with hypothetical state it must
+            # roll back at the next bind (the engine's rejected-action
+            # path).
+            for move in persistent_moves:
+                if not data.draw(st.booleans()):
+                    continue
+                vm = world.vms[move.vm_id]
+                dst = hosts[world.index[move.host_id]]
+                if not dst.is_available:
+                    continue
+                if move.from_queue:
+                    place(dst, vm)
+                elif vm.state is VmState.RUNNING:
+                    world.host_of(vm).remove_vm(vm.vm_id)
+                    dst.add_vm(vm)
+
+
+# --------------------------------------------------------------------------
+# Layer 2: whole-simulation oracles
+# --------------------------------------------------------------------------
+
+
+def _run_sim(preset, use_persistent, faults=None, scale=28.0):
+    from repro.cluster.faults import FaultConfig
+    from repro.engine.config import EngineConfig
+    from repro.engine.datacenter import simulate
+    from repro.experiments.common import (
+        DEFAULT_SEED, lambda_config, paper_cluster,
+    )
+    from repro.units import WEEK
+    from repro.workload.synthetic import Grid5000WeekGenerator, SyntheticConfig
+
+    cfg = SyntheticConfig(horizon_s=WEEK / scale)
+    trace = Grid5000WeekGenerator(cfg, seed=DEFAULT_SEED).generate()
+    fault_cfg = None
+    if faults:
+        fault_cfg = FaultConfig(creation_failure_p=0.08, migration_abort_p=0.1,
+                                boot_failure_p=0.1, slow_boot_p=0.2)
+    return simulate(
+        cluster=paper_cluster(),
+        policy=ScoreBasedPolicy(getattr(ScoreConfig, preset)(),
+                                use_persistent_matrix=use_persistent),
+        trace=trace,
+        pm_config=lambda_config(),
+        config=EngineConfig(seed=DEFAULT_SEED, faults=fault_cfg),
+    )
+
+
+def _determinism_row(res):
+    return (res.energy_kwh, res.cpu_hours, res.migrations, res.n_completed,
+            res.sim_events, res.satisfaction, res.delay_pct,
+            res.mean_wait_s, res.p95_wait_s, res.rejected_actions)
+
+
+class TestSimulationOracle:
+    @pytest.mark.parametrize("preset", ["sb", "full"])
+    def test_persistent_simulation_equals_fresh_kernel(self, preset):
+        rows = {p: _determinism_row(_run_sim(preset, p))
+                for p in (False, True)}
+        assert rows[True] == rows[False]
+
+    def test_persistent_bit_identical_under_chaos(self):
+        rows = {p: _determinism_row(_run_sim("sb", p, faults=True))
+                for p in (False, True)}
+        assert rows[True] == rows[False]
+
+    def test_rescore_stats_reported_and_sublinear(self):
+        res = _run_sim("sb", True)
+        stats = res.rescore_stats
+        assert stats["binds"] > 0
+        assert stats["full_rebuilds"] == 0
+        # The whole point: incremental rescoring must do strictly less
+        # work than the per-round rebuild it replaces.
+        assert 0 < stats["cells_rescored"] < stats["cells_total"]
+        assert any(k.startswith("dirty_rows_") for k in stats)
+        # The fresh kernel reports no stats.
+        assert _run_sim("sb", False, scale=112.0).rescore_stats == {}
+
+
+# --------------------------------------------------------------------------
+# Layer 3: order determinism (satellite: tie-breaking under partial rescore)
+# --------------------------------------------------------------------------
+
+
+def _tie_world():
+    """Identical hosts + identical VMs: every cell ties with its row peers."""
+    hosts = [make_host(i, node_class=MEDIUM) for i in range(6)]
+    hosts[4].state = HostState.OFF
+    vms = [make_vm(100 + v, cpu=100.0, mem=256.0) for v in range(5)]
+    place(hosts[0], vms[0])
+    place(hosts[1], vms[1])
+    place(hosts[1], vms[2])
+    return hosts, vms
+
+
+class TestOrderDeterminism:
+    def test_mutation_order_does_not_change_moves(self):
+        """The same dirty set in any arrival order binds identically.
+
+        The dirty feed is a set; :meth:`bind_round` sorts it, so the
+        T-pass argmin maintenance and hill-climb tie-breaking (lowest
+        row, then lowest column) must be independent of the order in
+        which rows were marked dirty between rounds.
+        """
+        config = ScoreConfig.sb()
+        mutations = [
+            lambda hs, vs: hs[0].remove_vm(vs[0].vm_id),
+            lambda hs, vs: setattr(hs[4], "state", HostState.ON),
+            lambda hs, vs: setattr(hs[2], "quarantined", True),
+            lambda hs, vs: (hs[1].remove_vm(vs[2].vm_id),
+                            hs[3].add_vm(vs[2])),
+        ]
+        outcomes = []
+        for order in itertools.permutations(range(len(mutations))):
+            hosts, vms = _tie_world()
+            cache = ColumnarClusterState(hosts)
+            matrix = PersistentScoreMatrix(cache, config)
+            running = [v for v in vms if v.state is VmState.RUNNING]
+            queued = [v for v in vms if v.state is VmState.QUEUED]
+            matrix.bind_round(queued + running, 100.0)
+            first = hill_climb(matrix)
+
+            for i in order:
+                mutations[i](hosts, vms)
+            vms[0].state = VmState.COMPLETED
+            columns = ([v for v in vms if v.state is VmState.QUEUED]
+                       + [v for v in vms if v.state is VmState.RUNNING])
+            matrix.bind_round(columns, 200.0)
+            assert matrix.verify_against_fresh(columns, 200.0)
+            moves = hill_climb(matrix)
+            outcomes.append((first, moves))
+        assert len(set(map(repr, outcomes))) == 1
+
+
+# --------------------------------------------------------------------------
+# HostArrayCache match memoization (satellite: identity fast-path fix)
+# --------------------------------------------------------------------------
+
+
+class TestHostArrayCacheMemo:
+    def test_in_place_growth_defeats_identity_fast_path(self):
+        hosts = [make_host(i) for i in range(3)]
+        cache = HostArrayCache(hosts)
+        assert cache.matches(hosts)
+        hosts.append(make_host(3))
+        # Same list object, different cluster: must NOT match.
+        assert not cache.matches(hosts)
+        hosts.pop()
+        assert cache.matches(hosts)
+
+    def test_invalidate_match_memo_recovers_element_swap(self):
+        hosts = [make_host(i) for i in range(3)]
+        cache = HostArrayCache(hosts)
+        other = list(hosts)
+        assert cache.matches(other)  # element-wise pass memoizes `other`
+        other[1] = make_host(99)
+        cache.invalidate_match_memo()
+        assert not cache.matches(other)
+
+    def test_policy_rebuilds_cache_only_on_cluster_change(self):
+        hosts = [make_host(i) for i in range(3)]
+        policy = ScoreBasedPolicy(ScoreConfig.sb0())
+        ctx = SimpleNamespace(hosts=hosts)
+        first = policy._cached_host_arrays(ctx)
+        # Steady state: the same list object is reused, zero rebuilds.
+        for _ in range(5):
+            assert policy._cached_host_arrays(ctx) is first
+        hosts.append(make_host(3))
+        second = policy._cached_host_arrays(ctx)
+        assert second is not first
+        assert len(second.cap_cpu) == 4
+        # And a persistent matrix bound to the old cache is replaced too.
+        assert policy._cached_host_arrays(ctx) is second
+
+
+# --------------------------------------------------------------------------
+# Configuration gating + recovery
+# --------------------------------------------------------------------------
+
+
+class TestGatingAndRecovery:
+    def test_persistent_requires_columnar_and_hill_climb(self):
+        with pytest.raises(ConfigurationError):
+            ScoreBasedPolicy(ScoreConfig.sb(), use_columnar=False,
+                             use_persistent_matrix=True)
+        with pytest.raises(ConfigurationError):
+            ScoreBasedPolicy(ScoreConfig.sb(), solver="sa",
+                             use_persistent_matrix=True)
+        assert ScoreBasedPolicy(ScoreConfig.sb()).use_persistent_matrix
+        assert not ScoreBasedPolicy(
+            ScoreConfig.sb(), use_columnar=False).use_persistent_matrix
+        assert not ScoreBasedPolicy(
+            ScoreConfig.sb(), solver="sa").use_persistent_matrix
+
+    def test_verify_cells_catches_corruption_and_rebuild_recovers(self):
+        hosts = [make_host(i) for i in range(4)]
+        vms = [make_vm(100 + v) for v in range(3)]
+        place(hosts[0], vms[0])
+        cache = ColumnarClusterState(hosts)
+        matrix = PersistentScoreMatrix(cache, ScoreConfig.sb())
+        columns = [vms[1], vms[2], vms[0]]
+        matrix.bind_round(columns, 50.0)
+        assert matrix.verify_cells()
+
+        slot = matrix._round_slots[0]
+        row = int(matrix._active[0])
+        matrix.scores[row, slot] += 1.0  # simulated drift
+        with pytest.raises(StateError):
+            matrix.verify_cells()
+
+        matrix.force_full_rebuild()
+        matrix.bind_round(columns, 60.0)
+        assert matrix.verify_cells()
+        assert matrix.verify_against_fresh(columns, 60.0)
+        assert matrix.stats()["full_rebuilds"] == 1
