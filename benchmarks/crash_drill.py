@@ -1,0 +1,191 @@
+"""Crash drill: SIGKILL a checkpointed 1k-host run, resume, compare.
+
+The engine snapshot subsystem's production oracle, executed for real: a
+streaming 1 000-host sweep point (the CI scale-smoke workload) runs with
+wall-clock checkpointing, gets SIGKILLed mid-flight — no atexit, no
+graceful handler, exactly what OOM killers and preempted spot instances
+do — and is then resumed from its latest durable snapshot.  The resumed
+run must report simulation outputs **bit-identical** to the committed
+scale baseline (``benchmarks/baselines/BENCH_scale_smoke.json``), i.e.
+indistinguishable from a run that was never killed.
+
+Usage (CI runs exactly this)::
+
+    PYTHONPATH=src python benchmarks/crash_drill.py \
+        --check-against benchmarks/baselines/BENCH_scale_smoke.json
+
+Exit 1 when the victim survived too long, the resume failed, no restore
+actually happened, or any determinism field drifted from the baseline.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import os
+import pathlib
+import signal
+import subprocess
+import sys
+import time
+from typing import Dict, List, Optional
+
+sys.path.insert(0, os.path.dirname(os.path.abspath(__file__)))
+
+from scale import (  # noqa: E402  (path bootstrap above)
+    DETERMINISM_FIELDS,
+    _RESULT_MARKER,
+    point_key,
+)
+
+DEFAULT_BASELINE = os.path.join(
+    os.path.dirname(os.path.abspath(__file__)),
+    "baselines", "BENCH_scale_smoke.json",
+)
+
+
+def _child_cmd(
+    hosts: int, jobs: int, seed: int, ckpt_dir: str, restore: bool
+) -> List[str]:
+    scale_py = os.path.join(
+        os.path.dirname(os.path.abspath(__file__)), "scale.py"
+    )
+    cmd = [
+        sys.executable, scale_py, "--single",
+        "--hosts", str(hosts), "--jobs", str(jobs), "--seed", str(seed),
+        "--ckpt-dir", ckpt_dir, "--ckpt-interval", "14400",
+    ]
+    if restore:
+        cmd.append("--restore")
+    return cmd
+
+
+def _wait_for_snapshot(
+    proc: subprocess.Popen, ckpt_dir: str, timeout_s: float
+) -> bool:
+    """True once a snapshot file exists; False if the child exits first."""
+    deadline = time.monotonic() + timeout_s
+    while time.monotonic() < deadline:
+        if any(pathlib.Path(ckpt_dir).rglob("*.ckpt")):
+            return True
+        if proc.poll() is not None:
+            return False
+        time.sleep(0.05)
+    return False
+
+
+def run_drill(
+    hosts: int, jobs: int, seed: int, ckpt_dir: str, kill_after_s: float
+) -> Dict:
+    """SIGKILL one checkpointed run mid-flight, resume it, return the row."""
+    victim = subprocess.Popen(
+        _child_cmd(hosts, jobs, seed, ckpt_dir, restore=False),
+        stdout=subprocess.DEVNULL, stderr=subprocess.DEVNULL,
+    )
+    try:
+        if not _wait_for_snapshot(victim, ckpt_dir, timeout_s=600.0):
+            raise RuntimeError(
+                "victim finished (or died) before writing any snapshot — "
+                "nothing to drill"
+            )
+        # Let it get meaningfully past the first snapshot before the kill
+        # so the resume replays a real tail, then strike with SIGKILL:
+        # the one signal no handler, finally block or atexit can soften.
+        time.sleep(kill_after_s)
+        if victim.poll() is not None:
+            raise RuntimeError("victim finished before it could be killed")
+        victim.send_signal(signal.SIGKILL)
+        code = victim.wait(timeout=120)
+        print(f"victim killed (exit {code}); resuming from {ckpt_dir}")
+    finally:
+        if victim.poll() is None:  # pragma: no cover - cleanup
+            victim.kill()
+            victim.wait(timeout=60)
+
+    resumed = subprocess.run(
+        _child_cmd(hosts, jobs, seed, ckpt_dir, restore=True),
+        capture_output=True, text=True, timeout=3600,
+    )
+    if resumed.returncode != 0:
+        raise RuntimeError(f"resume failed:\n{resumed.stderr[-2000:]}")
+    for line in resumed.stdout.splitlines():
+        if line.startswith(_RESULT_MARKER):
+            return json.loads(line[len(_RESULT_MARKER):])
+    raise RuntimeError("resume produced no result marker")
+
+
+def check_against_baseline(
+    row: Dict, baseline_path: str, key: str
+) -> List[str]:
+    with open(baseline_path) as fh:
+        baseline = json.load(fh)
+    base = baseline.get("results", {}).get(key)
+    if base is None:
+        return [f"baseline {baseline_path} has no point {key!r}"]
+    failures = []
+    for fld in DETERMINISM_FIELDS:
+        if row[fld] != base[fld]:
+            failures.append(
+                f"{key}: {fld} drifted after kill+resume: "
+                f"{row[fld]!r} != baseline {base[fld]!r}"
+            )
+    return failures
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--hosts", type=int, default=1000)
+    parser.add_argument("--jobs", type=int, default=3400)
+    parser.add_argument("--seed", type=int, default=None,
+                        help="workload + engine seed (default: the paper's)")
+    parser.add_argument(
+        "--kill-after", type=float, default=1.0, metavar="S",
+        help="extra wall seconds past the first snapshot before SIGKILL",
+    )
+    parser.add_argument(
+        "--check-against", default=DEFAULT_BASELINE, metavar="BASELINE",
+        help="scale baseline JSON holding the uninterrupted ground truth",
+    )
+    parser.add_argument(
+        "--ckpt-dir", default=None,
+        help="checkpoint directory (default: a fresh temp dir)",
+    )
+    args = parser.parse_args(argv)
+
+    from repro.experiments.common import DEFAULT_SEED
+
+    if args.seed is None:
+        args.seed = DEFAULT_SEED
+
+    import tempfile
+
+    with tempfile.TemporaryDirectory(prefix="crash-drill-") as tmp:
+        ckpt_dir = args.ckpt_dir or tmp
+        row = run_drill(
+            args.hosts, args.jobs, args.seed, ckpt_dir, args.kill_after
+        )
+
+    key = point_key(args.hosts, args.jobs, "")
+    print(
+        f"{key}: resumed run finished — {row['n_completed']} jobs, "
+        f"{row['sim_events']} events, {row['snapshot_restores']} restore(s), "
+        f"{row['checkpoints_written']} snapshots "
+        f"({row['checkpoint_bytes'] / 1e6:.1f} MB)"
+    )
+    failures = check_against_baseline(row, args.check_against, key)
+    if row["snapshot_restores"] < 1:
+        failures.append(
+            "resumed run reports snapshot_restores == 0 — the drill never "
+            "actually restored (victim killed too early?)"
+        )
+    if failures:
+        for line in failures:
+            print(f"DRILL FAILURE: {line}", file=sys.stderr)
+        return 1
+    print(f"crash drill passed: kill+resume bit-identical vs "
+          f"{args.check_against}")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -161,6 +161,27 @@ def build_parser() -> argparse.ArgumentParser:
     sim.add_argument("--trace-out", type=str, default=None, metavar="FILE",
                      help="write the structured event trace as JSON lines "
                           "(enables event tracing)")
+    sim.add_argument("--checkpoint-dir", type=str, default=None, metavar="DIR",
+                     help="engine-level checkpointing: snapshot the whole "
+                          "simulation state here so a killed run can resume "
+                          "bit-identically (see docs/robustness.md)")
+    sim.add_argument("--checkpoint-interval", type=float, default=None,
+                     metavar="SIM_S",
+                     help="snapshot every SIM_S simulated seconds "
+                          "(requires --checkpoint-dir)")
+    sim.add_argument("--checkpoint-wall-interval", type=float, default=None,
+                     metavar="S",
+                     help="snapshot every S wall-clock seconds "
+                          "(requires --checkpoint-dir)")
+    sim.add_argument("--restore", nargs="?", const=True, default=False,
+                     metavar="SNAPSHOT",
+                     help="resume from the newest compatible snapshot in "
+                          "--checkpoint-dir (flag alone), or from an "
+                          "explicit snapshot file")
+    sim.add_argument("--max-wall-clock", type=float, default=None, metavar="S",
+                     help="wall-clock budget: after S seconds the run "
+                          "checkpoints (with --checkpoint-dir) and exits 0, "
+                          "resumable via --restore")
 
     exp = sub.add_parser(
         "experiment",
@@ -201,6 +222,23 @@ def build_parser() -> argparse.ArgumentParser:
                      help="on failures, print completed outputs plus a "
                           "failure report (exit 1) instead of aborting the "
                           "whole sweep")
+    exp.add_argument("--checkpoint-dir", type=str, default=None, metavar="DIR",
+                     help="engine-level checkpointing inside each experiment "
+                          "task: interrupted or retried tasks resume "
+                          "mid-simulation instead of recomputing")
+    exp.add_argument("--checkpoint-interval", type=float, default=None,
+                     metavar="SIM_S",
+                     help="snapshot cadence in simulated seconds "
+                          "(requires --checkpoint-dir)")
+    exp.add_argument("--checkpoint-wall-interval", type=float, default=None,
+                     metavar="S",
+                     help="snapshot cadence in wall-clock seconds "
+                          "(requires --checkpoint-dir)")
+    exp.add_argument("--max-wall-clock", type=float, default=None, metavar="S",
+                     help="sweep wall-clock budget: after S seconds the sweep "
+                          "winds down gracefully (in-flight work journaled "
+                          "'interrupted', workers checkpoint) and exits 0; "
+                          "continue later with --resume")
 
     tr = sub.add_parser("trace", help="generate the synthetic Grid5000 week")
     tr.add_argument("--scale", type=float, default=1.0)
@@ -224,8 +262,11 @@ def main(argv: Optional[List[str]] = None) -> int:
     args = build_parser().parse_args(argv)
 
     if args.command == "simulate":
+        import signal
+
         from repro.cluster.faults import FaultConfig
         from repro.engine.datacenter import DatacenterSimulation
+        from repro.errors import SimulationInterrupted
 
         trace = paper_trace(scale=args.scale, seed=args.seed)
         engine = DatacenterSimulation(
@@ -252,10 +293,52 @@ def main(argv: Optional[List[str]] = None) -> int:
                 chaos_seed=args.chaos_seed,
                 observed_reliability=args.observed_reliability,
                 trace_events=bool(args.trace_out),
+                checkpoint_dir=args.checkpoint_dir,
+                checkpoint_sim_interval_s=args.checkpoint_interval,
+                checkpoint_wall_interval_s=args.checkpoint_wall_interval,
+                max_wall_clock_s=args.max_wall_clock,
             ),
         )
+        if args.restore:
+            if isinstance(args.restore, str):
+                from repro.engine.snapshot import load_snapshot
+
+                fresh = engine
+                engine = load_snapshot(args.restore)
+                # The snapshot carries the interrupted run's operational
+                # knobs; this invocation's flags win.
+                engine.adopt_operational(fresh.config)
+            else:
+                restored = engine.try_restore()
+                if restored is None:
+                    print("no snapshot to restore; starting fresh",
+                          file=sys.stderr)
+                else:
+                    engine = restored
+                    print(
+                        f"restored from snapshot at t={engine.sim.now:.0f}s "
+                        f"({engine.sim.events_processed} events)",
+                        file=sys.stderr,
+                    )
+
+        def _graceful(signum, frame):
+            engine.request_graceful_stop()
+
+        for signum in (signal.SIGTERM, signal.SIGINT):
+            try:
+                signal.signal(signum, _graceful)
+            except ValueError:  # pragma: no cover - non-main thread
+                pass
         try:
             result = engine.run()
+        except SimulationInterrupted as exc:
+            # Clean preemption: the final snapshot (if checkpointing is
+            # on) makes the run resumable with --restore.  Exit 0 so
+            # supervisors (systemd, batch schedulers) see a clean stop.
+            print(f"interrupted: {exc}", file=sys.stderr)
+            if args.checkpoint_dir:
+                print("resume with --restore", file=sys.stderr)
+            return 0
         except Exception:
             # Dump whatever trace we have: on a strict-invariant abort
             # (or any mid-run crash) the event log is the post-mortem.
@@ -270,6 +353,12 @@ def main(argv: Optional[List[str]] = None) -> int:
             f"{result.sim_events} events, "
             f"{result.wall_clock_s:.1f} s wall clock"
         )
+        if args.checkpoint_dir:
+            print(
+                f"checkpoints: {result.checkpoints_written} written "
+                f"({result.checkpoint_bytes / 1e6:.1f} MB), "
+                f"{result.snapshot_restores} restore(s)"
+            )
         if args.chaos is not None:
             print(
                 f"chaos: {result.failed_creations} failed creations, "
@@ -299,6 +388,7 @@ def main(argv: Optional[List[str]] = None) -> int:
         return 0
 
     if args.command == "experiment":
+        from repro.errors import SimulationInterrupted
         from repro.experiments.resilience import ExecutionPolicy
         from repro.experiments.runner import run_experiments
 
@@ -311,22 +401,35 @@ def main(argv: Optional[List[str]] = None) -> int:
             retries=args.retries,
             task_timeout_s=args.task_timeout,
             partial=args.partial,
+            checkpoint_dir=args.checkpoint_dir,
+            checkpoint_sim_interval_s=args.checkpoint_interval,
+            checkpoint_wall_interval_s=args.checkpoint_wall_interval,
+            max_wall_clock_s=args.max_wall_clock,
         )
-        result = run_experiments(
-            ids,
-            scale=args.scale,
-            seed=args.seed,
-            parallel=args.parallel,
-            jobs=args.jobs,
-            cache_dir=args.cache_dir,
-            execution=execution,
-            resume=args.resume,
-        )
+        try:
+            result = run_experiments(
+                ids,
+                scale=args.scale,
+                seed=args.seed,
+                parallel=args.parallel,
+                jobs=args.jobs,
+                cache_dir=args.cache_dir,
+                execution=execution,
+                resume=args.resume,
+            )
+        except SimulationInterrupted as exc:
+            # Graceful preemption (signal or --max-wall-clock): completed
+            # work is cached/journaled, snapshots are on disk — exit 0.
+            print(f"interrupted: {exc}", file=sys.stderr)
+            return 0
         if args.partial:
             for output in result.ordered_outputs():
                 if output is not None:
                     print(output)
                     print()
+            if result.interrupted:
+                print("-- sweep interrupted (resumable with --resume) --",
+                      file=sys.stderr)
             if result.failures:
                 print("-- failures --", file=sys.stderr)
                 print(result.failure_summary(), file=sys.stderr)

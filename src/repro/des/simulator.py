@@ -53,6 +53,29 @@ class Simulator:
         self._stop_requested = False
         self._live = 0
         self._tombstones = 0
+        #: Optional hook fired after every processed event, at the
+        #: inter-event boundary where no callback is mid-flight — the only
+        #: instant at which the world state is fully self-consistent and
+        #: safe to snapshot.  The hook must not schedule events (it runs
+        #: outside the event vocabulary on purpose: enabling it leaves
+        #: ``events_processed`` and every event sequence bit-identical).
+        self.post_event: Optional[Callable[[], None]] = None
+
+    # -------------------------------------------------------------- pickling
+
+    def __getstate__(self) -> dict:
+        """Engine snapshots pickle the simulator mid-run.
+
+        The transient loop flags are reset so the restored kernel is
+        immediately runnable: ``_running`` is True while :meth:`run` owns
+        the loop (the reentrance guard would otherwise brick the restored
+        copy), and a pending stop request belongs to the interrupted
+        process, not the resumed one.
+        """
+        state = self.__dict__.copy()
+        state["_running"] = False
+        state["_stop_requested"] = False
+        return state
 
     # ------------------------------------------------------------------ time
 
@@ -70,6 +93,11 @@ class Simulator:
     def pending(self) -> int:
         """Number of not-yet-cancelled events still in the queue (O(1))."""
         return self._live
+
+    @property
+    def stop_requested(self) -> bool:
+        """True once :meth:`stop` was called during the running loop."""
+        return self._stop_requested
 
     # ------------------------------------------------------- heap accounting
 
@@ -167,6 +195,8 @@ class Simulator:
             self._now = event.time
             self._events_processed += 1
             event.callback()
+            if self.post_event is not None:
+                self.post_event()
             return True
         return False
 
@@ -215,6 +245,8 @@ class Simulator:
                 self._now = event.time
                 self._events_processed += 1
                 event.callback()
+                if self.post_event is not None:
+                    self.post_event()
                 budget -= 1
         finally:
             self._running = False

@@ -27,6 +27,7 @@ ever drawn from — the event sequence is bit-identical to pre-chaos runs.
 from __future__ import annotations
 
 import enum
+from functools import partial
 from typing import Optional
 
 from repro.cluster.host import Host, HostState, Operation, OperationKind
@@ -154,13 +155,13 @@ class ActuatorsMixin:
             # differs.  The supervisor re-queues the VM with backoff.
             self.sim.schedule(
                 duration,
-                lambda v=vm, h=host: self._on_creation_failed(v, h),
+                partial(self._on_creation_failed, vm, host),
                 label=f"create-fail:{vm.vm_id}",
             )
         else:
             self.sim.schedule(
                 duration,
-                lambda v=vm, h=host: self._on_creation_done(v, h),
+                partial(self._on_creation_done, vm, host),
                 label=f"create:{vm.vm_id}",
             )
         return None
@@ -229,13 +230,13 @@ class ActuatorsMixin:
             frac = self.fault_model.abort_fraction(dst.host_id)
             self.sim.schedule(
                 duration * frac,
-                lambda v=vm, s=src, d=dst: self._on_migration_aborted(v, s, d),
+                partial(self._on_migration_aborted, vm, src, dst),
                 label=f"migrate-abort:{vm.vm_id}",
             )
         else:
             self.sim.schedule(
                 duration,
-                lambda v=vm, s=src, d=dst: self._on_migration_done(v, s, d),
+                partial(self._on_migration_done, vm, src, dst),
                 label=f"migrate:{vm.vm_id}",
             )
         return None
@@ -263,13 +264,13 @@ class ActuatorsMixin:
             # The machine burns the boot time and falls back to OFF.
             self.sim.schedule(
                 duration,
-                lambda h=host: self._on_boot_failed(h),
+                partial(self._on_boot_failed, host),
                 label=f"boot-fail:{host.host_id}",
             )
         else:
             self.sim.schedule(
                 duration,
-                lambda h=host: self._on_boot_done(h),
+                partial(self._on_boot_done, host),
                 label=f"boot:{host.host_id}",
             )
         return None

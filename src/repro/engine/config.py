@@ -121,6 +121,27 @@ class EngineConfig:
     #: per consecutive failure of the same VM, capped below.
     retry_backoff_base_s: float = 30.0
     retry_backoff_cap_s: float = 600.0
+    #: Engine-level checkpoint/restore (:mod:`repro.engine.snapshot`) —
+    #: distinct from the *in-world* VM checkpoints above
+    #: (``checkpoint_interval_s``): these serialize the whole simulation
+    #: so a killed run resumes bit-identically.  ``checkpoint_dir`` is the
+    #: parent directory; snapshots land in a per-run subdirectory named by
+    #: the config fingerprint.  ``None`` disables the subsystem entirely
+    #: (zero behavior and zero overhead — the post-event hook stays unset).
+    checkpoint_dir: Optional[str] = None
+    #: Snapshot cadence in *simulated* seconds (e.g. 86400 = sim-daily).
+    checkpoint_sim_interval_s: Optional[float] = None
+    #: Snapshot cadence in *wall-clock* seconds.  Either or both cadences
+    #: may be set; with neither, snapshots are written only on graceful
+    #: stops.  Wall-driven snapshots land at nondeterministic sim times
+    #: but never perturb the simulation (writing one is a pure read).
+    checkpoint_wall_interval_s: Optional[float] = None
+    #: Keep-last-K snapshot retention inside the run's subdirectory.
+    checkpoint_keep: int = 3
+    #: Wall-clock budget for :meth:`~DatacenterSimulation.run`; when
+    #: exceeded, the run checkpoints (if checkpointing is on) and raises
+    #: :class:`~repro.errors.SimulationInterrupted` (preemption-friendly).
+    max_wall_clock_s: Optional[float] = None
 
     def __post_init__(self) -> None:
         if self.initial_on < 0:
@@ -194,4 +215,24 @@ class EngineConfig:
             raise ConfigurationError(
                 f"retry_backoff_cap_s must be >= retry_backoff_base_s, "
                 f"got {self.retry_backoff_cap_s!r}"
+            )
+        for name in ("checkpoint_sim_interval_s", "checkpoint_wall_interval_s"):
+            value = getattr(self, name)
+            if value is not None:
+                if value <= 0:
+                    raise ConfigurationError(
+                        f"{name} must be positive when set, got {value!r}"
+                    )
+                if self.checkpoint_dir is None:
+                    raise ConfigurationError(
+                        f"{name} requires checkpoint_dir"
+                    )
+        if self.checkpoint_keep < 1:
+            raise ConfigurationError(
+                f"checkpoint_keep must be >= 1, got {self.checkpoint_keep!r}"
+            )
+        if self.max_wall_clock_s is not None and self.max_wall_clock_s <= 0:
+            raise ConfigurationError(
+                f"max_wall_clock_s must be positive when set, "
+                f"got {self.max_wall_clock_s!r}"
             )

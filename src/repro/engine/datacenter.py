@@ -78,6 +78,7 @@ import warnings
 from array import array
 from collections import deque
 from dataclasses import replace as _replace
+from functools import partial
 from typing import Deque, Dict, Iterator, List, Optional, Sequence, Set, Tuple, Union
 
 from repro.cluster.checkpoint import CheckpointStore
@@ -93,7 +94,7 @@ from repro.engine.config import EngineConfig
 from repro.engine.metrics import MetricsCollector
 from repro.engine.results import SimulationResult
 from repro.engine.tracing import EventTrace, TraceEventKind
-from repro.errors import ConfigurationError, StateError
+from repro.errors import ConfigurationError, SimulationInterrupted, StateError
 from repro.scheduling.base import SchedulingContext, SchedulingPolicy
 from repro.scheduling.power_manager import PowerManager, PowerManagerConfig
 from repro.sla.monitor import SlaMonitor
@@ -102,10 +103,35 @@ from repro.workload.job import Job, JobState
 from repro.workload.stream import JobStream
 from repro.workload.trace import Trace
 
-__all__ = ["DatacenterSimulation", "simulate"]
+__all__ = [
+    "DatacenterSimulation",
+    "simulate",
+    "request_global_graceful_stop",
+    "clear_global_graceful_stop",
+]
 
 #: Absolute work tolerance (percent-seconds) under which a VM is complete.
 _WORK_EPS = 1e-6
+
+#: Process-wide graceful-stop flag: set from a SIGTERM/SIGINT handler when
+#: the handler has no engine reference (sweep workers run engines buried
+#: inside experiment modules).  Any engine with the post-event hook armed
+#: (checkpointing or a wall budget active) notices it at the next event
+#: boundary, writes a final snapshot, and raises
+#: :class:`~repro.errors.SimulationInterrupted`; the flag is cleared when
+#: the interrupt fires so later runs in the same process start clean.
+_GLOBAL_GRACEFUL_STOP = False
+
+
+def request_global_graceful_stop() -> None:
+    """Signal-handler-safe: ask every hook-armed engine to checkpoint and stop."""
+    global _GLOBAL_GRACEFUL_STOP
+    _GLOBAL_GRACEFUL_STOP = True
+
+
+def clear_global_graceful_stop() -> None:
+    global _GLOBAL_GRACEFUL_STOP
+    _GLOBAL_GRACEFUL_STOP = False
 
 
 class DatacenterSimulation(ActuatorsMixin):
@@ -204,6 +230,11 @@ class DatacenterSimulation(ActuatorsMixin):
         # ---- streaming-mode state ----------------------------------------
         #: Iterator behind a JobStream workload (None for Trace runs).
         self._job_iter: Optional[Iterator[Job]] = None
+        #: Jobs pulled from the stream so far — the snapshot cursor.  The
+        #: generator itself cannot be pickled; restore re-invokes the
+        #: replayable factory and skips this many jobs (streams are
+        #: deterministic, so the skipped prefix is the consumed prefix).
+        self._stream_pulled = 0
         #: The one job pulled from the stream whose arrival event has not
         #: fired yet (counted as pending in the result on horizon overrun).
         self._pending_arrival: Optional[Job] = None
@@ -298,6 +329,210 @@ class DatacenterSimulation(ActuatorsMixin):
         self._invariant_checks = 0
         self._invariant_resyncs = 0
 
+        # ---- engine-level checkpoint/restore -----------------------------
+        # Env vars mirror REPRO_STRICT_INVARIANTS: they thread a checkpoint
+        # policy into worker processes without every call site growing
+        # knobs (the experiment runner's intra-task resume uses this).
+        env_ckpt = os.environ.get("REPRO_CHECKPOINT_DIR")
+        if env_ckpt and self.config.checkpoint_dir is None:
+            ckpt_kw = {"checkpoint_dir": env_ckpt}
+            for env_name, field_name in (
+                ("REPRO_CHECKPOINT_INTERVAL", "checkpoint_sim_interval_s"),
+                ("REPRO_CHECKPOINT_WALL_INTERVAL", "checkpoint_wall_interval_s"),
+            ):
+                raw = os.environ.get(env_name)
+                if raw:
+                    ckpt_kw[field_name] = float(raw)
+            self.config = _replace(self.config, **ckpt_kw)
+        #: Graceful-stop flag (set from signal handlers; acted on between
+        #: events) and the optional wall-clock deadline of this attempt.
+        self._graceful_stop = False
+        self._wall_deadline: Optional[float] = None
+        self._snapshotter = None
+        if self.config.checkpoint_dir is not None:
+            from repro.engine.snapshot import (
+                EngineSnapshotter,
+                config_fingerprint,
+            )
+
+            fingerprint = config_fingerprint(self)
+            # Per-run subdirectory keyed by the config fingerprint: many
+            # simulations (e.g. one experiment's whole sweep) can share a
+            # parent checkpoint_dir, and restore resolves its own lineage.
+            self._snapshotter = EngineSnapshotter(
+                os.path.join(self.config.checkpoint_dir, fingerprint),
+                fingerprint=fingerprint,
+                sim_interval_s=self.config.checkpoint_sim_interval_s,
+                wall_interval_s=self.config.checkpoint_wall_interval_s,
+                keep=self.config.checkpoint_keep,
+            )
+        if self._snapshotter is not None or self.config.max_wall_clock_s is not None:
+            self.sim.post_event = self._post_event
+
+    # ------------------------------------------------- checkpoint/restore
+
+    def __getstate__(self) -> dict:
+        """Snapshots pickle the engine as one identity-preserving graph.
+
+        The only unpicklable member is the streaming workload's generator;
+        it is dropped here and re-derived from the replayable stream
+        factory plus the pull cursor on restore.  Everything else — heap
+        callbacks (``functools.partial`` of bound methods), RNG states,
+        policy caches, the persistent score matrix — pickles as-is, with
+        shared object identities preserved by the pickle memo.
+        """
+        state = self.__dict__.copy()
+        state["_job_iter"] = None
+        return state
+
+    def __setstate__(self, state: dict) -> None:
+        self.__dict__.update(state)
+        if self._streaming and self._stream_pulled:
+            it = iter(self.trace)
+            for _ in range(self._stream_pulled):
+                if next(it, None) is None:
+                    break
+            self._job_iter = it
+
+    def request_graceful_stop(self) -> None:
+        """Ask the run to checkpoint and stop at the next event boundary.
+
+        Safe to call from a signal handler: it only sets a flag (and arms
+        the post-event hook if nothing else had); the actual snapshot and
+        :class:`~repro.errors.SimulationInterrupted` happen between
+        events, where the world is consistent.
+        """
+        self._graceful_stop = True
+        self.sim.post_event = self._post_event
+
+    def _post_event(self) -> None:
+        """Inter-event boundary hook: checkpoint cadence + graceful stop.
+
+        Never schedules events or draws randomness — enabling it leaves
+        ``sim_events`` and every row bit-identical.
+        """
+        if self.sim.stop_requested:
+            # The loop is ending (last job completed): the run is over,
+            # so neither interrupt nor snapshot it.  A snapshot here
+            # would capture a post-stop heap whose leftover periodic
+            # ticks a resumed loop would then (wrongly) process.
+            return
+        if (
+            self._graceful_stop
+            or _GLOBAL_GRACEFUL_STOP
+            or (
+                self._wall_deadline is not None
+                and _time.monotonic() >= self._wall_deadline
+            )
+        ):
+            self._graceful_interrupt()
+        snap = self._snapshotter
+        if snap is not None:
+            snap.maybe_write(self)
+
+    def _graceful_interrupt(self) -> None:
+        # Clear the transient stop state *before* the final snapshot so
+        # the restored run does not immediately re-interrupt itself.
+        self._graceful_stop = False
+        self._wall_deadline = None
+        clear_global_graceful_stop()
+        detail = ""
+        if self._snapshotter is not None:
+            path = self._snapshotter.write(self)
+            # The interrupt message promises the file exists; wait for
+            # the background writer before making that claim.
+            self._snapshotter.flush()
+            detail = f"; snapshot written to {path}"
+        raise SimulationInterrupted(
+            f"run interrupted at t={self.sim.now:.0f}s after "
+            f"{self.sim.events_processed} events{detail}"
+        )
+
+    def try_restore(self) -> Optional["DatacenterSimulation"]:
+        """Load the newest compatible snapshot of this run, if any.
+
+        Returns a *new* engine instance restored from disk (this one is
+        untouched), or ``None`` when no snapshot exists yet.  A snapshot
+        from a different config/seed raises
+        :class:`~repro.errors.StateError` (fingerprint guard).  The
+        restored engine adopts *this* invocation's operational settings
+        (cadence, retention, wall budget) — the snapshot carries the
+        interrupted run's knobs, and e.g. re-arming a long-expired
+        ``max_wall_clock_s`` would make the resume interrupt itself.
+        """
+        if self._snapshotter is None:
+            return None
+        from repro.engine.snapshot import resume_from
+
+        restored = resume_from(
+            self._snapshotter.directory,
+            expected_fingerprint=self._snapshotter.fingerprint,
+        )
+        if restored is not None:
+            restored.adopt_operational(self.config)
+        return restored
+
+    def adopt_operational(self, config: "EngineConfig") -> None:
+        """Adopt another invocation's operational settings after a restore.
+
+        The fingerprint deliberately excludes checkpoint cadence,
+        retention and wall budgets, so a snapshot may be resumed under
+        different operational knobs than the run that wrote it.  This
+        replaces exactly those fields (never anything semantic), rebuilds
+        the snapshotter accordingly while preserving its counters and
+        index lineage, and re-derives the post-event hook.
+        """
+        from repro.engine.snapshot import (
+            _OPERATIONAL_FIELDS,
+            EngineSnapshotter,
+            config_fingerprint,
+        )
+
+        self.config = _replace(
+            self.config,
+            **{name: getattr(config, name) for name in _OPERATIONAL_FIELDS},
+        )
+        old = self._snapshotter
+        if old is not None:
+            old.flush()
+        self._snapshotter = None
+        if self.config.checkpoint_dir is not None:
+            fingerprint = (
+                old.fingerprint if old is not None else config_fingerprint(self)
+            )
+            snap = EngineSnapshotter(
+                os.path.join(self.config.checkpoint_dir, fingerprint),
+                fingerprint=fingerprint,
+                sim_interval_s=self.config.checkpoint_sim_interval_s,
+                wall_interval_s=self.config.checkpoint_wall_interval_s,
+                keep=self.config.checkpoint_keep,
+            )
+            if old is not None:
+                # Continue the lineage: indices keep ascending so the new
+                # snapshot never collides with (or re-counts) an old one,
+                # and the operational counters survive the resume.
+                snap.written = old.written
+                snap.bytes_written = old.bytes_written
+                snap.restores = old.restores
+                snap._index = old._index
+                if (
+                    snap.sim_interval_s is not None
+                    and snap.sim_interval_s == old.sim_interval_s
+                ):
+                    snap._next_sim_due = old._next_sim_due
+            if snap._next_sim_due is not None:
+                # Re-anchor the cadence to the restored clock: the first
+                # snapshot is due one whole interval from *now*.
+                while snap._next_sim_due <= self.sim.now:
+                    snap._next_sim_due += snap.sim_interval_s
+            self._snapshotter = snap
+        self._graceful_stop = False
+        self._wall_deadline = None
+        if self._snapshotter is not None or self.config.max_wall_clock_s is not None:
+            self.sim.post_event = self._post_event
+        else:
+            self.sim.post_event = None
+
     # ------------------------------------------------------------------ run
 
     def start(self) -> float:
@@ -315,6 +550,7 @@ class DatacenterSimulation(ActuatorsMixin):
             if first is None:
                 raise ConfigurationError("cannot simulate an empty trace")
             self._job_iter = it
+            self._stream_pulled = 1
             self._schedule_arrival(first)
             # The drain horizon is unknown until the stream runs dry;
             # _stream_exhausted installs the horizon guard then.
@@ -329,7 +565,7 @@ class DatacenterSimulation(ActuatorsMixin):
                 last_arrival = max(last_arrival, job.submit_time)
                 self.sim.at(
                     job.submit_time,
-                    lambda j=job: self._on_job_arrival(j),
+                    partial(self._on_job_arrival, job),
                     label=f"arrival:{job.job_id}",
                 )
 
@@ -364,7 +600,7 @@ class DatacenterSimulation(ActuatorsMixin):
         self._pending_arrival = job
         self.sim.at(
             job.submit_time,
-            lambda j=job: self._on_stream_arrival(j),
+            partial(self._on_stream_arrival, job),
             priority=-1,
             label=f"arrival:{job.job_id}",
         )
@@ -376,6 +612,7 @@ class DatacenterSimulation(ActuatorsMixin):
         # tie-broken by the -1 priority ahead of everything else).
         nxt = next(self._job_iter, None)
         if nxt is not None:
+            self._stream_pulled += 1
             self._schedule_arrival(nxt)
         else:
             self._pending_arrival = None
@@ -400,15 +637,29 @@ class DatacenterSimulation(ActuatorsMixin):
         )
 
     def run(self) -> SimulationResult:
-        """Execute the whole workload and return the result row."""
+        """Execute the whole workload and return the result row.
+
+        Works identically on a fresh engine and on one restored from a
+        snapshot: :meth:`start` is idempotent (the armed state — pending
+        arrivals, ticks, the horizon guard — lives in the pickled heap),
+        so a resumed run simply drains the remaining events.
+        """
         if self._result is not None:
             return self._result
         wall_start = _time.perf_counter()
+        if self.config.max_wall_clock_s is not None:
+            # A fresh budget per attempt (not pickled): a resumed run gets
+            # its own full slice, which is what preemption schedulers do.
+            self._wall_deadline = _time.monotonic() + self.config.max_wall_clock_s
         horizon = self.start()
         # Streaming mode has no horizon until the stream is exhausted;
         # the guard event installed by _stream_exhausted stops the loop.
         self.sim.run(until=None if math.isinf(horizon) else horizon)
 
+        if self._snapshotter is not None:
+            # The last periodic snapshot may still be on the background
+            # writer; make it durable before publishing the result.
+            self._snapshotter.flush()
         self._touch_all()
         if self._invariants_enabled:
             # Final sweep: the published row must come from verified state.
@@ -425,14 +676,20 @@ class DatacenterSimulation(ActuatorsMixin):
             self._round_pending = True
             self.sim.schedule(0.0, self._round, priority=100, label="round")
 
+    def _placed_iter(self) -> Iterator[Vm]:
+        """Currently placed VMs in arrival order (context ``placed_fn``).
+
+        A bound method rather than a closure so a context captured by a
+        policy or power manager never blocks engine pickling (snapshots).
+        """
+        return (vm for vm in self._live.values() if vm.is_placed)
+
     def _context(self) -> SchedulingContext:
         ctx = SchedulingContext(
             now=self.sim.now,
             hosts=self.hosts,
             queued=tuple(self.queue.values()),
-            placed_fn=lambda: (
-                vm for vm in self._live.values() if vm.is_placed
-            ),
+            placed_fn=self._placed_iter,
             node_counts=self._node_counts,
         )
         if self.power_manager.reads_context_vms:
@@ -691,7 +948,7 @@ class DatacenterSimulation(ActuatorsMixin):
         """Hold a failed VM out of the queue for ``delay_s`` of sim time."""
         self._cancel_park(vm)
         self._park_handles[vm.vm_id] = self.sim.schedule(
-            delay_s, lambda v=vm: self._on_requeue(v), label=f"requeue:{vm.vm_id}"
+            delay_s, partial(self._on_requeue, vm), label=f"requeue:{vm.vm_id}"
         )
 
     def _cancel_park(self, vm: Vm) -> None:
@@ -749,7 +1006,7 @@ class DatacenterSimulation(ActuatorsMixin):
         )
         self.sim.schedule(
             self.config.quarantine_duration_s,
-            lambda h=host: self._on_quarantine_expired(h),
+            partial(self._on_quarantine_expired, host),
             label=f"unquarantine:{host.host_id}",
         )
 
@@ -771,7 +1028,7 @@ class DatacenterSimulation(ActuatorsMixin):
         if not math.isfinite(uptime):
             return  # effectively never fails (again)
         self.sim.schedule(
-            uptime, lambda h=host: self._on_host_failure(h), label=f"fail:{host.host_id}"
+            uptime, partial(self._on_host_failure, host), label=f"fail:{host.host_id}"
         )
 
     def _on_host_failure(self, host: Host) -> None:
@@ -846,7 +1103,7 @@ class DatacenterSimulation(ActuatorsMixin):
 
         downtime = process.next_downtime()
         self.sim.schedule(
-            downtime, lambda h=host: self._on_host_repair(h), label=f"repair:{host.host_id}"
+            downtime, partial(self._on_host_repair, host), label=f"repair:{host.host_id}"
         )
         self.trigger_round()
 
@@ -890,7 +1147,7 @@ class DatacenterSimulation(ActuatorsMixin):
                 self._dirty.add(hid)
                 self.sim.schedule(
                     self.config.checkpoint_duration_s,
-                    lambda h=host: self._on_checkpoint_done(h),
+                    partial(self._on_checkpoint_done, host),
                     label=f"ckpt-cost:{hid}",
                 )
             self._refresh()
@@ -1047,7 +1304,7 @@ class DatacenterSimulation(ActuatorsMixin):
         eta = vm.eta(self.sim.now)
         self._completion_handles[vm.vm_id] = self.sim.at(
             max(eta, self.sim.now),
-            lambda v=vm: self._on_completion(v),
+            partial(self._on_completion, vm),
             label=f"complete:{vm.vm_id}",
         )
 
@@ -1312,6 +1569,7 @@ class DatacenterSimulation(ActuatorsMixin):
         )
         matrix = getattr(self.policy, "_matrix", None)
         rescore_stats = matrix.stats() if matrix is not None else {}
+        snap = self._snapshotter
         return SimulationResult(
             policy=self.policy.name,
             lambda_min=self.power_manager.config.lambda_min,
@@ -1346,6 +1604,9 @@ class DatacenterSimulation(ActuatorsMixin):
             mean_recovery_s=mean_recovery_s,
             reject_reasons=reject_reasons,
             rescore_stats=rescore_stats,
+            checkpoints_written=snap.written if snap is not None else 0,
+            checkpoint_bytes=snap.bytes_written if snap is not None else 0,
+            snapshot_restores=snap.restores if snap is not None else 0,
         )
 
 
@@ -1355,12 +1616,20 @@ def simulate(
     trace: Union[Trace, JobStream],
     pm_config: Optional[PowerManagerConfig] = None,
     config: Optional[EngineConfig] = None,
+    *,
+    restore: bool = False,
 ) -> SimulationResult:
     """Convenience wrapper: run one simulation on a fresh copy of the trace.
 
     Accepts a materialized :class:`Trace` or a streaming
     :class:`~repro.workload.stream.JobStream`; both replay pristinely
     through ``fresh()``.
+
+    With ``restore=True`` (or the ``REPRO_RESTORE`` environment variable
+    set) *and* engine checkpointing configured, the run resumes from the
+    newest compatible snapshot when one exists — the experiment runner's
+    intra-task resume path.  Resumed results are bit-identical to an
+    uninterrupted run (see :mod:`repro.engine.snapshot`).
 
     Examples
     --------
@@ -1379,4 +1648,8 @@ def simulate(
         pm_config=pm_config,
         config=config,
     )
+    if restore or os.environ.get("REPRO_RESTORE"):
+        restored = engine.try_restore()
+        if restored is not None:
+            engine = restored
     return engine.run()

@@ -75,7 +75,39 @@ class SimulationResult:
     #: and ``dirty_rows_<2^k>`` / ``dirty_cols_<2^k>`` histograms of the
     #: per-round dirty-row / changed-column counts.
     rescore_stats: Dict[str, float] = field(default_factory=dict)
+    #: Engine-level checkpoint/restore (:mod:`repro.engine.snapshot`):
+    #: snapshots written by this process, their total on-disk bytes, and
+    #: how many times this run's state was restored from a snapshot.
+    #: Operational by nature — excluded from :meth:`canonical` because a
+    #: killed-and-resumed run legitimately differs here while every
+    #: simulated quantity stays bit-identical.
+    checkpoints_written: int = 0
+    checkpoint_bytes: int = 0
+    snapshot_restores: int = 0
     extra: Dict[str, float] = field(default_factory=dict)
+
+    #: Fields that vary across processes for the *same* simulated run:
+    #: wall-clock timing and checkpoint bookkeeping.
+    OPERATIONAL_FIELDS = (
+        "wall_clock_s",
+        "checkpoints_written",
+        "checkpoint_bytes",
+        "snapshot_restores",
+    )
+
+    def canonical(self) -> Dict[str, object]:
+        """The result minus operational fields — the bit-identity contract.
+
+        Two runs of the same configuration must produce equal
+        ``canonical()`` dicts even when one was SIGKILLed and resumed from
+        a snapshot; tests and the CI crash drill compare exactly this.
+        """
+        from dataclasses import asdict
+
+        out = asdict(self)
+        for name in self.OPERATIONAL_FIELDS:
+            out.pop(name, None)
+        return out
 
     @property
     def completion_rate(self) -> float:

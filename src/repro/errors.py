@@ -19,6 +19,7 @@ __all__ = [
     "ExperimentError",
     "WorkerCrashError",
     "TaskTimeoutError",
+    "SimulationInterrupted",
 ]
 
 
@@ -60,3 +61,12 @@ class WorkerCrashError(ExperimentError):
 
 class TaskTimeoutError(ExperimentError):
     """An experiment task exceeded its per-task wall-clock timeout."""
+
+
+class SimulationInterrupted(ReproError):
+    """A run stopped gracefully (signal or wall-clock budget) mid-flight.
+
+    Raised by the engine's post-event hook after the final checkpoint has
+    been written; the run is resumable from that snapshot and callers
+    should treat this as a clean preemption, not a failure.
+    """

@@ -45,7 +45,11 @@ import json
 import math
 import multiprocessing
 import os
+import shutil
+import signal
+import threading
 import time
+import warnings
 from concurrent.futures import FIRST_COMPLETED, Future, ProcessPoolExecutor, wait
 from concurrent.futures.process import BrokenProcessPool
 from contextlib import contextmanager
@@ -56,6 +60,7 @@ from typing import Callable, Dict, List, Optional, Sequence, Tuple
 from repro.errors import (
     ConfigurationError,
     ExperimentError,
+    SimulationInterrupted,
     TaskTimeoutError,
     WorkerCrashError,
 )
@@ -110,6 +115,23 @@ class ExecutionPolicy:
     partial:
         Return a :class:`SweepReport` (completed outputs + structured
         failure report) instead of raising on task failure.
+    checkpoint_dir:
+        Enable engine-level checkpoint/restore
+        (:mod:`repro.engine.snapshot`) inside every task: each task
+        snapshots into ``<checkpoint_dir>/<task_id>/`` and a retried or
+        resumed attempt restores from its latest snapshot (journaled as a
+        ``restored`` outcome) instead of recomputing from scratch.  The
+        per-task directory is deleted once the task succeeds.
+    checkpoint_sim_interval_s / checkpoint_wall_interval_s:
+        Snapshot cadence forwarded to the engines (simulated seconds /
+        wall seconds); with neither set, snapshots are written only on
+        graceful interruption.
+    max_wall_clock_s:
+        Sweep-level wall-clock budget.  When exceeded, the sweep stops
+        dispatching, in-flight tasks are journaled ``interrupted`` (the
+        workers checkpoint on their way down), and the report comes back
+        with ``interrupted=True`` — the same wind-down path a SIGTERM
+        takes.
     """
 
     retries: int = 0
@@ -120,6 +142,10 @@ class ExecutionPolicy:
     backoff_seed: int = 0
     max_pool_respawns: int = 2
     partial: bool = False
+    checkpoint_dir: Optional[str] = None
+    checkpoint_sim_interval_s: Optional[float] = None
+    checkpoint_wall_interval_s: Optional[float] = None
+    max_wall_clock_s: Optional[float] = None
 
     def __post_init__(self) -> None:
         if self.retries < 0:
@@ -132,6 +158,21 @@ class ExecutionPolicy:
             raise ConfigurationError("backoff jitter must be in [0, 1]")
         if self.max_pool_respawns < 0:
             raise ConfigurationError("max_pool_respawns must be >= 0")
+        for name in ("checkpoint_sim_interval_s", "checkpoint_wall_interval_s"):
+            value = getattr(self, name)
+            if value is not None:
+                if value <= 0:
+                    raise ConfigurationError(f"{name} must be positive when set")
+                if self.checkpoint_dir is None:
+                    raise ConfigurationError(f"{name} requires checkpoint_dir")
+        if self.max_wall_clock_s is not None and self.max_wall_clock_s <= 0:
+            raise ConfigurationError("max_wall_clock_s must be positive when set")
+
+    def task_checkpoint_dir(self, task_id: str) -> Optional[str]:
+        """Snapshot directory of one task (``None`` when checkpointing is off)."""
+        if self.checkpoint_dir is None:
+            return None
+        return os.path.join(self.checkpoint_dir, task_id)
 
     def backoff_s(self, task_id: str, attempt: int) -> float:
         """Deterministic delay before running ``attempt`` (0 = first try)."""
@@ -147,7 +188,7 @@ class ExecutionPolicy:
 # ---------------------------------------------------------- fault plans
 
 
-_FAULT_KINDS = ("raise", "crash", "hang", "corrupt")
+_FAULT_KINDS = ("raise", "crash", "hang", "corrupt", "kill")
 
 
 @dataclass(frozen=True)
@@ -156,15 +197,21 @@ class FaultSpec:
 
     ``kind`` is one of ``raise`` (worker raises :class:`ExperimentError`),
     ``crash`` (worker hard-exits, breaking the process pool), ``hang``
-    (worker sleeps ``hang_s``, tripping the task timeout) or ``corrupt``
+    (worker sleeps ``hang_s``, tripping the task timeout), ``corrupt``
     (worker runs the task but returns a non-:class:`ExperimentOutput`
-    payload).  The fault fires while ``attempt < times`` and the task is
-    clean afterwards, so retry-to-success paths are testable.
+    payload) or ``kill`` (worker arms a timer that hard-exits the process
+    ``after_s`` wall seconds into the attempt — a SIGKILL-like death
+    *mid-simulation*, the scenario engine checkpoints exist for).  The
+    fault fires while ``attempt < times`` and the task is clean
+    afterwards, so retry-to-success paths are testable.
     """
 
     kind: str
     times: int = 1
     hang_s: float = 3600.0
+    #: ``kill`` only: wall seconds into the attempt at which the process
+    #: dies (0 dies immediately, like ``crash``).
+    after_s: float = 0.0
 
     def __post_init__(self) -> None:
         if self.kind not in _FAULT_KINDS:
@@ -175,6 +222,8 @@ class FaultSpec:
             raise ConfigurationError("fault times must be >= 0")
         if self.hang_s <= 0:
             raise ConfigurationError("hang_s must be positive")
+        if self.after_s < 0:
+            raise ConfigurationError("after_s must be >= 0")
 
 
 @dataclass(frozen=True)
@@ -251,6 +300,12 @@ def _apply_worker_fault(task_id: str, attempt: int) -> Optional[FaultSpec]:
         os._exit(_CRASH_EXIT_CODE)
     if spec.kind == "hang":
         time.sleep(spec.hang_s)
+    if spec.kind == "kill":
+        if spec.after_s <= 0:
+            os._exit(_CRASH_EXIT_CODE)
+        timer = threading.Timer(spec.after_s, os._exit, args=(_CRASH_EXIT_CODE,))
+        timer.daemon = True
+        timer.start()
     return spec
 
 
@@ -316,18 +371,40 @@ class SweepJournal:
 
     @staticmethod
     def read_entries(path: os.PathLike) -> List[dict]:
-        """All parseable records (a torn trailing line is skipped)."""
+        """All parseable records.
+
+        A journal whose writer was SIGKILLed mid-``write`` legitimately
+        ends in a torn line; such lines (or any other corruption) are
+        skipped with a warning naming the line number, so ``--resume``
+        keeps working after a crash while the operator still learns the
+        file was damaged.
+        """
         entries: List[dict] = []
         try:
             with open(path, "r", encoding="utf-8") as fh:
-                for line in fh:
+                for lineno, line in enumerate(fh, start=1):
                     line = line.strip()
                     if not line:
                         continue
                     try:
-                        entries.append(json.loads(line))
+                        record = json.loads(line)
                     except ValueError:
-                        continue  # torn tail of an interrupted write
+                        warnings.warn(
+                            f"sweep journal {os.fspath(path)}: skipping "
+                            f"corrupt line {lineno} (torn write?)",
+                            RuntimeWarning,
+                            stacklevel=2,
+                        )
+                        continue
+                    if not isinstance(record, dict):
+                        warnings.warn(
+                            f"sweep journal {os.fspath(path)}: skipping "
+                            f"non-record line {lineno}",
+                            RuntimeWarning,
+                            stacklevel=2,
+                        )
+                        continue
+                    entries.append(record)
         except OSError:
             return []
         return entries
@@ -382,6 +459,12 @@ class SweepReport:
     #: Tasks served without running: from cache, or journal-resumed.
     cached: List[str] = field(default_factory=list)
     resumed: List[str] = field(default_factory=list)
+    #: Tasks that resumed mid-simulation from an engine snapshot.
+    restored: List[str] = field(default_factory=list)
+    #: The sweep wound down early (SIGTERM/SIGINT or the wall-clock
+    #: budget): remaining work is journaled ``interrupted`` and resumable;
+    #: callers should treat this as preemption, not failure.
+    interrupted: bool = False
 
     @property
     def ok(self) -> bool:
@@ -410,14 +493,97 @@ class SweepReport:
         ) from first.exception
 
 
+@contextmanager
+def _checkpoint_env(
+    checkpoint_dir: Optional[str],
+    sim_interval_s: Optional[float],
+    wall_interval_s: Optional[float],
+):
+    """Export engine checkpoint/restore settings for the enclosed task.
+
+    The engine folds ``REPRO_CHECKPOINT_*`` into its config and
+    ``REPRO_RESTORE`` makes :func:`repro.engine.datacenter.simulate`
+    resume from the newest compatible snapshot — this is how the
+    subsystem reaches engines buried inside experiment modules without
+    threading a parameter through 18 registry entries.  Previous values
+    are restored on exit (pool workers are reused across tasks).
+    """
+    if checkpoint_dir is None:
+        yield
+        return
+    updates = {
+        "REPRO_CHECKPOINT_DIR": checkpoint_dir,
+        "REPRO_RESTORE": "1",
+    }
+    if sim_interval_s is not None:
+        updates["REPRO_CHECKPOINT_INTERVAL"] = repr(float(sim_interval_s))
+    if wall_interval_s is not None:
+        updates["REPRO_CHECKPOINT_WALL_INTERVAL"] = repr(float(wall_interval_s))
+    previous = {name: os.environ.get(name) for name in updates}
+    os.environ.update(updates)
+    try:
+        yield
+    finally:
+        for name, value in previous.items():
+            if value is None:
+                os.environ.pop(name, None)
+            else:
+                os.environ[name] = value
+
+
+@contextmanager
+def _graceful_worker_signals(enabled: bool):
+    """Checkpoint-then-exit-0 on SIGTERM/SIGINT inside a worker.
+
+    Only active in worker processes with checkpointing on (the default
+    die-fast behaviour is correct otherwise).  The handler merely sets
+    the engine module's global graceful-stop flag; the running engine
+    notices it at the next event boundary, writes a final snapshot and
+    raises :class:`~repro.errors.SimulationInterrupted`, which
+    :func:`run_task` converts into a clean ``os._exit(0)``.
+    """
+    if not enabled or multiprocessing.parent_process() is None:
+        yield
+        return
+    from repro.engine.datacenter import request_global_graceful_stop
+
+    def _handler(signum, frame):
+        request_global_graceful_stop()
+
+    previous = {}
+    for signum in (signal.SIGTERM, signal.SIGINT):
+        try:
+            previous[signum] = signal.signal(signum, _handler)
+        except (ValueError, OSError):  # pragma: no cover - non-main thread
+            pass
+    try:
+        yield
+    finally:
+        for signum, old in previous.items():
+            try:
+                signal.signal(signum, old)
+            except (ValueError, OSError):  # pragma: no cover - defensive
+                pass
+
+
 def run_task(
-    task_id: str, exp_id: str, scale: float, seed: Optional[int], attempt: int
+    task_id: str,
+    exp_id: str,
+    scale: float,
+    seed: Optional[int],
+    attempt: int,
+    checkpoint_dir: Optional[str] = None,
+    checkpoint_sim_interval_s: Optional[float] = None,
+    checkpoint_wall_interval_s: Optional[float] = None,
 ):
     """Worker entry point: run one experiment module (picklable).
 
     Applies any environment fault plan first (worker processes only),
     then invokes the registry entry exactly as the serial path would —
-    all seeding is explicit, so the rows are attempt-independent.
+    all seeding is explicit, so the rows are attempt-independent.  With
+    ``checkpoint_dir`` set, the task's engines snapshot there and a
+    retried attempt resumes from the newest snapshot instead of
+    recomputing (results stay bit-identical either way).
     """
     fault = _apply_worker_fault(task_id, attempt)
     from repro.experiments import registry
@@ -425,13 +591,42 @@ def run_task(
     kwargs = {"scale": scale}
     if seed is not None:
         kwargs["seed"] = seed
-    out = registry.get(exp_id)(**kwargs)
+    in_worker = multiprocessing.parent_process() is not None
+    try:
+        with _graceful_worker_signals(checkpoint_dir is not None):
+            with _checkpoint_env(
+                checkpoint_dir,
+                checkpoint_sim_interval_s,
+                checkpoint_wall_interval_s,
+            ):
+                out = registry.get(exp_id)(**kwargs)
+    except SimulationInterrupted:
+        if in_worker:
+            # The final snapshot is on disk; die clean so the supervisor
+            # reads this as preemption, not failure ("checkpoint, exit 0").
+            os._exit(0)
+        raise
     if fault is not None and fault.kind == "corrupt":
         return f"<result corrupted by fault plan (attempt {attempt})>"
     return out
 
 
 # ------------------------------------------------------------- executor
+
+
+def _worker_init() -> None:
+    """Pool-worker initializer: undo inherited master signal handlers.
+
+    Forked workers inherit whatever handlers :func:`execute_tasks`
+    installed in the master; left in place they would swallow the
+    SIGTERM that :func:`_terminate_pool` relies on to reap hung workers.
+    SIGTERM returns to the default (die; :func:`run_task` re-installs a
+    checkpoint-then-exit handler around checkpointing tasks) and SIGINT
+    is ignored — a Ctrl-C is the *master's* cue to wind the sweep down
+    gracefully, not a reason for every worker to die mid-checkpoint.
+    """
+    signal.signal(signal.SIGTERM, signal.SIG_DFL)
+    signal.signal(signal.SIGINT, signal.SIG_IGN)
 
 
 def _terminate_pool(pool: ProcessPoolExecutor) -> None:
@@ -467,11 +662,47 @@ class _Sweep:
         policy: ExecutionPolicy,
         journal: Optional[SweepJournal],
         on_complete: Optional[Callable[[TaskSpec, ExperimentOutput], None]],
+        stop: Optional[dict] = None,
     ) -> None:
         self.policy = policy
         self.journal = journal
         self.on_complete = on_complete
         self.report = SweepReport()
+        #: Shared with the signal handlers installed by execute_tasks.
+        self._stop = stop if stop is not None else {"flag": False}
+        self._deadline = (
+            time.monotonic() + policy.max_wall_clock_s
+            if policy.max_wall_clock_s is not None
+            else None
+        )
+
+    def stopping(self) -> bool:
+        """True once a signal arrived or the sweep wall budget expired."""
+        if self._stop["flag"]:
+            return True
+        if self._deadline is not None and time.monotonic() >= self._deadline:
+            self._stop["flag"] = True  # latch: the wind-down is one-way
+            return True
+        return False
+
+    def note_dispatch(self, task: TaskSpec, attempt: int) -> None:
+        """Journal a ``restored`` outcome when the attempt will resume.
+
+        Recorded at dispatch time: snapshots live in the task's
+        checkpoint directory, so a non-empty directory means this attempt
+        picks up mid-simulation instead of starting over.
+        """
+        directory = self.policy.task_checkpoint_dir(task.task_id)
+        if directory is None:
+            return
+        try:
+            has_snapshot = any(Path(directory).rglob("*.ckpt"))
+        except OSError:  # pragma: no cover - unreadable dir
+            has_snapshot = False
+        if has_snapshot:
+            self._journal(task, attempt, "restored")
+            if task.task_id not in self.report.restored:
+                self.report.restored.append(task.task_id)
 
     def _journal(self, task: TaskSpec, attempt: int, outcome: str, **kw) -> None:
         if self.journal is not None:
@@ -489,6 +720,10 @@ class _Sweep:
         if self.on_complete is not None:
             self.on_complete(task, output)
         self._journal(task, attempt, "ok", duration_s=duration)
+        directory = self.policy.task_checkpoint_dir(task.task_id)
+        if directory is not None:
+            # The task is done and cached: its snapshots are dead weight.
+            shutil.rmtree(directory, ignore_errors=True)
 
     def fail_attempt(
         self,
@@ -536,17 +771,43 @@ def _run_serial(
     """
     policy = sweep.policy
     for task, first_attempt in work:
+        if sweep.stopping():
+            sweep.report.interrupted = True
+            return
         attempt = first_attempt
         while True:
             delay = policy.backoff_s(task.task_id, attempt)
             if delay > 0:
                 time.sleep(delay)
+            sweep.note_dispatch(task, attempt)
             t0 = time.monotonic()
             try:
                 out = sweep.validated(
                     task,
-                    run_task(task.task_id, task.exp_id, task.scale, task.seed, attempt),
+                    run_task(
+                        task.task_id,
+                        task.exp_id,
+                        task.scale,
+                        task.seed,
+                        attempt,
+                        checkpoint_dir=policy.task_checkpoint_dir(task.task_id),
+                        checkpoint_sim_interval_s=policy.checkpoint_sim_interval_s,
+                        checkpoint_wall_interval_s=policy.checkpoint_wall_interval_s,
+                    ),
                 )
+            except SimulationInterrupted as exc:
+                # Graceful preemption mid-task: the engine already wrote
+                # its final snapshot, so the attempt is resumable — not a
+                # failure, and not retried now.
+                sweep._journal(
+                    task,
+                    attempt,
+                    "interrupted",
+                    duration_s=time.monotonic() - t0,
+                    error=f"{exc!r}",
+                )
+                sweep.report.interrupted = True
+                return
             except Exception as exc:
                 if sweep.fail_attempt(
                     task, attempt, "error", exc, time.monotonic() - t0
@@ -570,13 +831,22 @@ def _run_parallel(sweep: _Sweep, tasks: Sequence[TaskSpec], jobs: Optional[int])
     backlog: List[Tuple[TaskSpec, int, float]] = [(t, 0, 0.0) for t in tasks]
     #: future -> (task, attempt, deadline, start time).
     pending: Dict[Future, Tuple[TaskSpec, int, float, float]] = {}
-    pool: Optional[ProcessPoolExecutor] = ProcessPoolExecutor(max_workers=workers)
+    pool: Optional[ProcessPoolExecutor] = ProcessPoolExecutor(max_workers=workers, initializer=_worker_init)
     respawns = 0
 
     def submit(task: TaskSpec, attempt: int) -> None:
         now = time.monotonic()
+        sweep.note_dispatch(task, attempt)
         future = pool.submit(
-            run_task, task.task_id, task.exp_id, task.scale, task.seed, attempt
+            run_task,
+            task.task_id,
+            task.exp_id,
+            task.scale,
+            task.seed,
+            attempt,
+            checkpoint_dir=policy.task_checkpoint_dir(task.task_id),
+            checkpoint_sim_interval_s=policy.checkpoint_sim_interval_s,
+            checkpoint_wall_interval_s=policy.checkpoint_wall_interval_s,
         )
         deadline = (
             now + policy.task_timeout_s
@@ -591,6 +861,20 @@ def _run_parallel(sweep: _Sweep, tasks: Sequence[TaskSpec], jobs: Optional[int])
 
     try:
         while backlog or pending:
+            if sweep.stopping():
+                # Graceful wind-down (signal or wall budget): journal the
+                # in-flight work as resumable and terminate the pool —
+                # workers with checkpointing on snapshot on their way out.
+                for future, (task, attempt, _, t0) in pending.items():
+                    sweep._journal(
+                        task, attempt, "interrupted",
+                        duration_s=time.monotonic() - t0,
+                    )
+                pending.clear()
+                sweep.report.interrupted = True
+                _terminate_pool(pool)
+                pool = None
+                return
             now = time.monotonic()
             due = [item for item in backlog if item[2] <= now]
             backlog = [item for item in backlog if item[2] > now]
@@ -604,6 +888,9 @@ def _run_parallel(sweep: _Sweep, tasks: Sequence[TaskSpec], jobs: Optional[int])
             next_due = min((nb for _, _, nb in backlog), default=math.inf)
             wake = min(next_deadline, next_due)
             timeout = None if wake is math.inf else max(0.0, wake - now)
+            # Cap the wait so signals and the wall budget are noticed
+            # promptly even while every worker is deep in a long task.
+            timeout = 0.5 if timeout is None else min(timeout, 0.5)
 
             if not pending:
                 # Only backoff waits remain; sleep until the nearest one.
@@ -655,7 +942,7 @@ def _run_parallel(sweep: _Sweep, tasks: Sequence[TaskSpec], jobs: Optional[int])
                     pool = None
                     _run_serial(sweep, remaining, degraded=True)
                     return
-                pool = ProcessPoolExecutor(max_workers=workers)
+                pool = ProcessPoolExecutor(max_workers=workers, initializer=_worker_init)
                 continue
 
             now = time.monotonic()
@@ -671,7 +958,7 @@ def _run_parallel(sweep: _Sweep, tasks: Sequence[TaskSpec], jobs: Optional[int])
                 lost = list(pending.items())
                 pending.clear()
                 _terminate_pool(pool)
-                pool = ProcessPoolExecutor(max_workers=workers)
+                pool = ProcessPoolExecutor(max_workers=workers, initializer=_worker_init)
                 for future, (task, attempt, _, t0) in lost:
                     duration = now - t0
                     if future in overdue:
@@ -721,13 +1008,48 @@ def execute_tasks(
     immediately).  The returned report carries completed outputs, per-task
     attempt counts and a structured failure list; it is the caller's
     choice (``policy.partial``) whether failures raise or are reported.
+
+    While the sweep runs, SIGTERM and SIGINT are handled gracefully (main
+    thread only): the sweep stops dispatching, in-flight tasks are
+    journaled ``interrupted``, checkpointing workers snapshot on their way
+    down, and the report returns with ``interrupted=True``.  A second
+    signal abandons politeness and raises :class:`KeyboardInterrupt`.
     """
     sweep = _Sweep(policy or ExecutionPolicy(), journal, on_complete)
     sweep.report.order = [t.task_id for t in tasks]
     if not tasks:
         return sweep.report
-    if parallel:
-        _run_parallel(sweep, tasks, jobs)
-    else:
-        _run_serial(sweep, [(t, 0) for t in tasks])
+
+    from repro.engine.datacenter import (
+        clear_global_graceful_stop,
+        request_global_graceful_stop,
+    )
+
+    def _handler(signum, frame):
+        if sweep._stop["flag"]:
+            raise KeyboardInterrupt
+        sweep._stop["flag"] = True
+        # Reaches a serial in-process engine mid-simulation (the parallel
+        # loop notices the flag between waits; workers get SIGTERM from
+        # the pool teardown and checkpoint through their own handlers).
+        request_global_graceful_stop()
+
+    previous = {}
+    for signum in (signal.SIGTERM, signal.SIGINT):
+        try:
+            previous[signum] = signal.signal(signum, _handler)
+        except ValueError:  # not the main thread: run unguarded
+            pass
+    try:
+        if parallel:
+            _run_parallel(sweep, tasks, jobs)
+        else:
+            _run_serial(sweep, [(t, 0) for t in tasks])
+    finally:
+        for signum, old in previous.items():
+            try:
+                signal.signal(signum, old)
+            except (ValueError, OSError):  # pragma: no cover - defensive
+                pass
+        clear_global_graceful_stop()
     return sweep.report

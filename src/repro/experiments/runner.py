@@ -47,7 +47,7 @@ from typing import List, Optional, Sequence, Union
 
 import hashlib
 
-from repro.errors import ConfigurationError
+from repro.errors import ConfigurationError, SimulationInterrupted
 from repro.experiments.common import ExperimentOutput
 from repro.experiments.resilience import (
     ExecutionPolicy,
@@ -69,8 +69,9 @@ __all__ = [
 #: Bump when engine/experiment semantics change in a way that invalidates
 #: previously cached :class:`ExperimentOutput` pickles.  2: results grew
 #: the strict-invariant diagnostic fields.  3: results grew the
-#: persistent-matrix ``rescore_stats`` field.
-RESULT_VERSION = 3
+#: persistent-matrix ``rescore_stats`` field.  4: results grew the
+#: checkpoint/restore counters.
+RESULT_VERSION = 4
 
 #: Default sweep-journal filename inside ``cache_dir``.
 JOURNAL_NAME = "sweep-journal.jsonl"
@@ -302,6 +303,8 @@ def run_experiments(
             report.pool_respawns = run.pool_respawns
             report.timeouts = run.timeouts
             report.degraded_serial = run.degraded_serial
+            report.restored = list(run.restored)
+            report.interrupted = run.interrupted
     finally:
         if journal is not None:
             journal.close()
@@ -315,5 +318,15 @@ def run_experiments(
 
     if policy.partial:
         return report
+    if report.interrupted:
+        # The sweep wound down gracefully (signal / wall budget); the
+        # journal and any engine snapshots make it resumable.  Without
+        # ``partial`` there is no channel for an incomplete output list,
+        # so surface the preemption as the typed, catchable exception.
+        done = sum(1 for out in outputs if out is not None)
+        raise SimulationInterrupted(
+            f"sweep interrupted with {done}/{len(ids)} experiment(s) "
+            f"complete; re-run with resume=True to continue"
+        )
     report.raise_if_failed()
     return list(outputs)  # type: ignore[arg-type]

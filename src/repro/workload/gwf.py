@@ -23,6 +23,7 @@ vary between 11 and 29 columns.
 
 from __future__ import annotations
 
+import functools
 from pathlib import Path
 from typing import Iterator, TextIO, Union
 
@@ -134,8 +135,11 @@ def stream_gwf(
             "stream_gwf needs a filesystem path (a handle cannot be replayed); "
             "use read_gwf or iter_gwf for file-like sources"
         )
+    # functools.partial (not a lambda) so the stream — and any engine
+    # snapshot holding it — stays picklable.
     return JobStream(
-        lambda: iter_gwf(
+        functools.partial(
+            iter_gwf,
             path,
             default_mem_mb=default_mem_mb,
             deadline_factor=deadline_factor,

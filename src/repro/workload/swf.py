@@ -24,6 +24,7 @@ quality).
 
 from __future__ import annotations
 
+import functools
 import io
 from pathlib import Path
 from typing import Iterator, TextIO, Tuple, Union
@@ -163,8 +164,11 @@ def stream_swf(
             "stream_swf needs a filesystem path (a handle cannot be replayed); "
             "use read_swf or iter_swf for file-like sources"
         )
+    # functools.partial (not a lambda) so the stream — and any engine
+    # snapshot holding it — stays picklable.
     return JobStream(
-        lambda: iter_swf(
+        functools.partial(
+            iter_swf,
             path,
             default_mem_mb=default_mem_mb,
             deadline_factor=deadline_factor,

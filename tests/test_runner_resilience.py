@@ -296,7 +296,56 @@ class TestJournalAndResume:
             journal.record("table1", 0, "ok", cache_key="k1")
         with open(path, "a") as fh:
             fh.write('{"task": "table5", "outcome": "ok", "cache')  # torn
-        assert SweepJournal.completed_tasks(path) == {"table1": "k1"}
+        with pytest.warns(RuntimeWarning, match="torn write"):
+            assert SweepJournal.completed_tasks(path) == {"table1": "k1"}
+
+    def test_journal_truncated_mid_record_warns_and_resumes(self, tmp_path):
+        """A crash mid-append leaves a half-written final record: resume
+        must keep every complete record, warn, and skip the stub."""
+        path = tmp_path / "j.jsonl"
+        with SweepJournal(path) as journal:
+            journal.record("table1", 0, "ok", cache_key="k1")
+            journal.record("table5", 0, "ok", cache_key="k5")
+        raw = path.read_bytes()
+        path.write_bytes(raw[:-9])  # cut into the second record
+        with pytest.warns(RuntimeWarning, match="torn write"):
+            assert SweepJournal.completed_tasks(path) == {"table1": "k1"}
+
+
+class TestIntraTaskRestore:
+    def test_killed_worker_resumes_from_checkpoint(self, tmp_path):
+        """A worker SIGKILLed mid-simulation resumes from its engine
+        snapshot on retry (journaled ``restored``) and the final rows are
+        bit-identical to an uninterrupted serial run."""
+        scale = 0.25  # long enough (~2 s) that the timed kill lands mid-run
+        serial = run_experiments(["table5"], scale=scale, seed=SEED)
+        plan = ReproFaultPlan({
+            "table5": FaultSpec(kind="kill", times=1, after_s=0.8),
+        })
+        cache = tmp_path / "cache"
+        report = run_experiments(
+            ["table5"], scale=scale, seed=SEED, parallel=True, jobs=1,
+            cache_dir=str(cache),
+            execution=ExecutionPolicy(
+                retries=2, backoff_base_s=0.01, partial=True,
+                checkpoint_dir=str(tmp_path / "ckpt"),
+                checkpoint_wall_interval_s=0.05,
+            ),
+            fault_plan=plan,
+        )
+        assert report.ok, [f.detail for f in report.failures]
+        assert report.restored == ["table5"]
+        assert comparable_rows(report.outputs["table5"]) == comparable_rows(
+            serial[0]
+        )
+        outcomes = {
+            (e["task"], e["outcome"])
+            for e in SweepJournal.read_entries(cache / JOURNAL_NAME)
+        }
+        assert ("table5", "restored") in outcomes
+        assert ("table5", "ok") in outcomes
+        # Success cleans the per-task snapshot lineage.
+        assert not any((tmp_path / "ckpt").rglob("*.ckpt"))
 
 
 class TestFaultsAreWorkerOnly:
