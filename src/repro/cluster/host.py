@@ -37,7 +37,7 @@ from __future__ import annotations
 
 import enum
 from dataclasses import dataclass
-from typing import Dict, List, Optional
+from typing import Dict, List, Optional, Tuple
 
 from repro.cluster.spec import HostSpec
 from repro.cluster.vm import Vm, VmState
@@ -478,9 +478,21 @@ class Host:
             self.cpu_used = 0.0
             return
 
-        # Positional domains — running/migrating VMs in residency order,
-        # then operation legs — so the solver needs no per-call key
-        # formatting or dict churn on this per-dirty-host-event path.
+        guests, caps, weights = self.collect_share_domains()
+        shares = (
+            self._scheduler.allocate_arrays(caps, weights) if caps else ()
+        )
+        self.apply_shares(guests, shares)
+
+    def collect_share_domains(self) -> Tuple[List[Vm], List[float], List[float]]:
+        """The host's share problem as positional ``(guests, caps, weights)``.
+
+        Positional domains — running/migrating VMs in residency order,
+        then operation legs — so the solver needs no per-call key
+        formatting or dict churn on this per-dirty-host-event path.  The
+        batched engine refresh uses ``(capacity, caps, weights)`` as the
+        share-memo fingerprint; the tuple orders above make it exact.
+        """
         guests: List[Vm] = [
             vm
             for vm in self.vms.values()
@@ -491,18 +503,25 @@ class Host:
         for op in self.operations:
             caps.append(op.cpu_overhead)
             weights.append(op.cpu_overhead)
+        return guests, caps, weights
 
-        if caps:
-            shares = self._scheduler.allocate_arrays(caps, weights)
-            total = 0.0
-            for i, vm in enumerate(guests):
-                s = float(shares[i])
-                vm.share = s
-                total += s
-            for i in range(len(guests), len(caps)):
-                total += float(shares[i])
-        else:
-            total = 0.0
+    def apply_shares(self, guests: List[Vm], shares) -> None:
+        """Scatter a solved share vector back onto this host's VMs.
+
+        ``shares`` is any indexable of floats (solver array or memo
+        tuple) laid out like :meth:`collect_share_domains` — guest shares
+        first, then operation legs.  ``cpu_used`` accumulates in the same
+        sequential order as the historical inline loop, so the float total
+        (and the power draw derived from it) is bit-identical however the
+        shares were obtained.
+        """
+        total = 0.0
+        for i, vm in enumerate(guests):
+            s = float(shares[i])
+            vm.share = s
+            total += s
+        for i in range(len(guests), len(shares)):
+            total += float(shares[i])
         # CREATING VMs make no progress.
         for vm in self.vms.values():
             if vm.state is VmState.CREATING:

@@ -15,17 +15,49 @@ round saturates at least one domain), and each round is vectorized.
 Shares are recomputed only when a host's domain set or demand changes —
 between events, shares are constant, so job progress integrates in closed
 form (see DESIGN.md §7).
+
+:func:`compute_shares_batch` solves many hosts' water-filling problems in
+one vectorized pass, **bit-identical** per row to the scalar function.
+The identity is not automatic: numpy's pairwise summation assigns array
+elements to accumulators by position, so summing a zero-padded or masked
+row does *not* in general round like summing the compressed row.  The
+batch solver therefore (a) keeps every elementwise operation in the same
+order as the scalar code (multiply, then divide; subtract, then compare),
+and (b) computes every reduction by first left-compacting each row's
+active lanes (stable argsort preserves their relative order) and then
+grouping rows by exact active count ``k``, summing each ``(g, k)`` block
+with ``np.sum(axis=1)`` — the same pairwise algorithm, over the same
+values in the same positions, as the scalar path's 1-D sums.
+
+:class:`ShareMemo` caches solved share vectors keyed by the exact
+``(capacity, caps, weights)`` fingerprint.  A hit returns the very floats
+a fresh solve would produce (the solver is deterministic in its inputs),
+so memoization can never change results — only skip work.  The key is the
+*ordered* tuple, not a multiset: water-filling is mathematically
+permutation-equivariant but its floating-point sums are not, and reusing
+a permuted host's solution would break bit-identity.
 """
 
 from __future__ import annotations
 
-from typing import Optional, Sequence
+import math
+from typing import Dict, List, Optional, Sequence, Tuple
 
 import numpy as np
 
 from repro.errors import ConfigurationError
 
-__all__ = ["compute_shares", "CreditScheduler"]
+__all__ = [
+    "compute_shares",
+    "compute_shares_batch",
+    "CreditScheduler",
+    "ShareMemo",
+]
+
+#: Water-filling convergence tolerance (absolute, percent units).
+_TOL = 1e-12
+#: Epsilon weight granted to zero-weight runnable domains.
+_EPS_WEIGHT = 1e-9
 
 
 def compute_shares(
@@ -69,26 +101,32 @@ def compute_shares(
     >>> compute_shares(300.0, [50.0, 300.0], weights=[1.0, 1.0]).tolist()
     [50.0, 250.0]
     """
+    if not math.isfinite(capacity):
+        raise ConfigurationError(f"capacity must be finite, got {capacity}")
     if capacity < 0:
         raise ConfigurationError(f"capacity must be >= 0, got {capacity}")
     caps_arr = np.asarray(caps, dtype=float)
     if caps_arr.size == 0:
         return np.zeros(0)
-    if np.any(caps_arr < 0):
-        raise ConfigurationError("caps must be non-negative")
+    # ``not all(x >= 0)`` (rather than ``any(x < 0)``) also rejects NaN,
+    # which compares False both ways and would otherwise flow through the
+    # solver silently.
+    if not np.all(caps_arr >= 0) or not np.all(np.isfinite(caps_arr)):
+        raise ConfigurationError("caps must be finite and non-negative")
     if weights is None:
         w = caps_arr.copy()
     else:
         w = np.asarray(weights, dtype=float)
         if w.shape != caps_arr.shape:
             raise ConfigurationError("weights must match caps in length")
-        if np.any(w < 0):
-            raise ConfigurationError("weights must be non-negative")
+        if not np.all(w >= 0) or not np.all(np.isfinite(w)):
+            raise ConfigurationError("weights must be finite and non-negative")
     # Zero-weight runnable domains still deserve their cap when idle
     # capacity remains; give them a tiny epsilon weight.
-    w = np.where((w <= 0) & (caps_arr > 0), 1e-9, w)
+    w = np.where((w <= 0) & (caps_arr > 0), _EPS_WEIGHT, w)
 
-    total_demand = float(caps_arr.sum())
+    with np.errstate(over="ignore"):
+        total_demand = float(caps_arr.sum())
     if total_demand <= capacity:
         return caps_arr.copy()
 
@@ -97,20 +135,239 @@ def compute_shares(
     remaining = float(capacity)
     # Each round saturates >= 1 domain, so at most n rounds.
     for _ in range(caps_arr.size):
-        if remaining <= 1e-12 or not active.any():
+        if remaining <= _TOL or not active.any():
             break
         w_active = w[active]
-        proposal = remaining * w_active / w_active.sum()
+        with np.errstate(over="ignore"):
+            w_sum = float(w_active.sum())
+        if not math.isfinite(w_sum):
+            # Finite weights whose *sum* overflows (e.g. two ~1e308
+            # domains): normalize by the max so proposals stay finite.
+            # Never fires for sane inputs — the committed baselines see
+            # the exact historical arithmetic.
+            w_active = w_active / float(w_active.max())
+            w_sum = float(w_active.sum())
+        with np.errstate(over="ignore"):
+            proposal = remaining * w_active / w_sum
         room = caps_arr[active] - shares[active]
         grant = np.minimum(proposal, room)
         shares[active] += grant
         remaining -= float(grant.sum())
         newly_full = np.zeros_like(active)
-        newly_full[active] = (caps_arr[active] - shares[active]) <= 1e-12
+        newly_full[active] = (caps_arr[active] - shares[active]) <= _TOL
         if not newly_full.any():
             break  # everyone got their full proposal; fixed point
         active &= ~newly_full
     return shares
+
+
+def _row_sums_compact(rows: np.ndarray, counts: np.ndarray) -> np.ndarray:
+    """Per-row sums of left-compacted rows, bit-identical to 1-D ``np.sum``.
+
+    ``rows[i, :counts[i]]`` holds row *i*'s valid entries; the rest is
+    padding.  Rows are grouped by exact valid count ``k`` and each
+    ``(g, k)`` block reduced with ``np.sum(axis=1)``, which applies the
+    same pairwise-summation algorithm to the same values in the same
+    positions as ``np.sum`` over the compressed 1-D row — the property the
+    batched solver's bit-identity rests on (summing the zero-padded full
+    row instead would change accumulator assignment, hence rounding).
+    """
+    out = np.zeros(rows.shape[0])
+    for k in np.unique(counts):
+        k = int(k)
+        if k == 0:
+            continue
+        sel = np.nonzero(counts == k)[0]
+        out[sel] = rows[sel, :k].sum(axis=1)
+    return out
+
+
+def compute_shares_batch(
+    capacities: Sequence[float],
+    caps_rows: Sequence[Sequence[float]],
+    weights_rows: Optional[Sequence[Optional[Sequence[float]]]] = None,
+) -> List[np.ndarray]:
+    """Solve many hosts' share problems at once — bit-identical per row.
+
+    Parameters
+    ----------
+    capacities:
+        Per-host capacity, one entry per row.
+    caps_rows:
+        Per-host demand ceilings; rows may have different lengths
+        (including zero).
+    weights_rows:
+        Per-host weights (``None``, or a sequence whose entries may be
+        ``None`` to default that row's weights to its caps).
+
+    Returns
+    -------
+    list of numpy.ndarray
+        ``out[i]`` equals ``compute_shares(capacities[i], caps_rows[i],
+        weights_rows[i])`` float for float — the differential tests
+        enforce this exactly.
+
+    Rows that trip a degenerate guard (weight-sum overflow) are delegated
+    to the scalar solver, which is the single source of truth for those
+    paths; everything else runs vectorized across the batch.
+    """
+    B = len(caps_rows)
+    if len(capacities) != B:
+        raise ConfigurationError("capacities must match caps_rows in length")
+    if weights_rows is not None and len(weights_rows) != B:
+        raise ConfigurationError("weights_rows must match caps_rows in length")
+    out: List[Optional[np.ndarray]] = [None] * B
+    if B == 0:
+        return []
+
+    lengths = np.fromiter((len(r) for r in caps_rows), dtype=np.intp, count=B)
+    cap_vec = np.asarray(capacities, dtype=float)
+    if not np.all(np.isfinite(cap_vec)) or not np.all(cap_vec >= 0):
+        raise ConfigurationError("capacity must be finite and >= 0")
+    P = int(lengths.max()) if B else 0
+    caps = np.zeros((B, P))
+    w = np.zeros((B, P))
+    for i, row in enumerate(caps_rows):
+        k = lengths[i]
+        if k:
+            caps[i, :k] = row
+            wr = weights_rows[i] if weights_rows is not None else None
+            if wr is None:
+                w[i, :k] = caps[i, :k]
+            else:
+                if len(wr) != k:
+                    raise ConfigurationError("weights must match caps in length")
+                w[i, :k] = wr
+    if not np.all(caps >= 0) or not np.all(np.isfinite(caps)):
+        raise ConfigurationError("caps must be finite and non-negative")
+    if not np.all(w >= 0) or not np.all(np.isfinite(w)):
+        raise ConfigurationError("weights must be finite and non-negative")
+    # Padding lanes keep w == 0 because their caps are 0.
+    w = np.where((w <= 0) & (caps > 0), _EPS_WEIGHT, w)
+
+    # Uncontended fast path: caps rows are naturally left-compacted, so
+    # the per-row demand total sums exactly like the scalar path's
+    # ``caps_arr.sum()``.
+    with np.errstate(over="ignore"):
+        total_demand = _row_sums_compact(caps, lengths)
+    shares = np.zeros_like(caps)
+    done = total_demand <= cap_vec
+    shares[done] = caps[done]
+
+    rows = np.nonzero(~done)[0]
+    if rows.size:
+        # Weight-sum overflow (possible despite finite weights) is the
+        # one guard the scalar path handles with data-dependent
+        # rescaling; those rows go to the single source of truth.  For
+        # non-negative weights a subset sum never exceeds the full sum,
+        # so a finite first-round sum stays finite in every later round.
+        active0 = caps[rows] > 0
+        with np.errstate(over="ignore"):
+            over = ~np.isfinite(np.where(active0, w[rows], 0.0).sum(axis=1))
+        for i in rows[over]:
+            wr = weights_rows[i] if weights_rows is not None else None
+            out[int(i)] = compute_shares(float(cap_vec[i]), caps_rows[i], wr)
+        rows = rows[~over]
+
+    if rows.size:
+        caps_r = caps[rows]
+        w_r = w[rows]
+        shares_r = np.zeros_like(caps_r)
+        active = caps_r > 0
+        remaining = cap_vec[rows].copy()
+        rounds_left = lengths[rows].copy()
+        live = (remaining > _TOL) & active.any(axis=1) & (rounds_left > 0)
+        while live.any():
+            li = np.nonzero(live)[0]
+            act = active[li]
+            # Left-compact active lanes (stable: original order kept) so
+            # reductions see exactly the scalar path's compressed arrays.
+            order = np.argsort(~act, axis=1, kind="stable")
+            counts = act.sum(axis=1)
+            w_sum = _row_sums_compact(
+                np.take_along_axis(w_r[li], order, axis=1), counts
+            )
+            rem_li = remaining[li]
+            with np.errstate(over="ignore"):
+                proposal = rem_li[:, None] * w_r[li] / w_sum[:, None]
+            room = caps_r[li] - shares_r[li]
+            grant = np.where(act, np.minimum(proposal, room), 0.0)
+            shares_r[li] += grant
+            grant_sum = _row_sums_compact(
+                np.take_along_axis(grant, order, axis=1), counts
+            )
+            rem_new = rem_li - grant_sum
+            remaining[li] = rem_new
+            newly_full = act & ((caps_r[li] - shares_r[li]) <= _TOL)
+            act_new = act & ~newly_full
+            active[li] = act_new
+            rounds_left[li] -= 1
+            live[li] = (
+                newly_full.any(axis=1)
+                & (rem_new > _TOL)
+                & act_new.any(axis=1)
+                & (rounds_left[li] > 0)
+            )
+        shares[rows] = shares_r
+
+    for i in range(B):
+        if out[i] is None:
+            out[i] = shares[i, : lengths[i]].copy()
+    return out  # type: ignore[return-value]
+
+
+class ShareMemo:
+    """FIFO-bounded cache of solved share vectors.
+
+    Keys are the exact ``(capacity, caps, weights)`` tuples of a host's
+    share problem; values are the solved shares as a tuple of floats.  The
+    solver is a pure function of the key, so a hit returns byte-for-byte
+    what a fresh solve would — eviction policy and cache size can change
+    only speed, never results.  The memo pickles with the engine, so a
+    resumed run starts with the same cache contents (again
+    results-neutral, but it keeps resumed throughput flat).
+    """
+
+    __slots__ = ("max_entries", "_table", "hits", "misses")
+
+    def __init__(self, max_entries: int = 65536) -> None:
+        if max_entries < 1:
+            raise ConfigurationError("ShareMemo needs max_entries >= 1")
+        self.max_entries = int(max_entries)
+        self._table: Dict[tuple, Tuple[float, ...]] = {}
+        self.hits = 0
+        self.misses = 0
+
+    def __len__(self) -> int:
+        return len(self._table)
+
+    def __getstate__(self) -> dict:
+        return {
+            "max_entries": self.max_entries,
+            "_table": self._table,
+            "hits": self.hits,
+            "misses": self.misses,
+        }
+
+    def __setstate__(self, state: dict) -> None:
+        for name, value in state.items():
+            setattr(self, name, value)
+
+    def get(self, key: tuple) -> Optional[Tuple[float, ...]]:
+        hit = self._table.get(key)
+        if hit is not None:
+            self.hits += 1
+        else:
+            self.misses += 1
+        return hit
+
+    def put(self, key: tuple, shares: Tuple[float, ...]) -> None:
+        table = self._table
+        if key not in table and len(table) >= self.max_entries:
+            # FIFO eviction: drop the oldest insertion.  Results-neutral
+            # (see class docstring), O(1), and deterministic.
+            del table[next(iter(table))]
+        table[key] = shares
 
 
 class CreditScheduler:
@@ -142,7 +399,15 @@ class CreditScheduler:
         """
         names = list(demands.keys())
         caps = [demands[n] for n in names]
-        w = [weights[n] for n in names] if weights is not None else None
+        if weights is not None:
+            try:
+                w = [weights[n] for n in names]
+            except KeyError as exc:
+                raise ConfigurationError(
+                    f"weights missing domain {exc.args[0]!r}"
+                ) from None
+        else:
+            w = None
         shares = self.allocate_arrays(caps, w)
         return {n: float(s) for n, s in zip(names, shares)}
 

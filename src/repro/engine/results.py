@@ -84,6 +84,12 @@ class SimulationResult:
     checkpoints_written: int = 0
     checkpoint_bytes: int = 0
     snapshot_restores: int = 0
+    #: Batched-refresh share memo counters (``hits``/``misses``/
+    #: ``entries``; empty when ``batched_refresh=False``).  Operational:
+    #: memo hits return the exact floats a fresh solve would, so the
+    #: counters describe work skipped, never results — and a scalar-mode
+    #: run must stay ``canonical()``-equal to its batched twin.
+    share_memo_stats: Dict[str, float] = field(default_factory=dict)
     extra: Dict[str, float] = field(default_factory=dict)
 
     #: Fields that vary across processes for the *same* simulated run:
@@ -93,6 +99,7 @@ class SimulationResult:
         "checkpoints_written",
         "checkpoint_bytes",
         "snapshot_restores",
+        "share_memo_stats",
     )
 
     def canonical(self) -> Dict[str, object]:

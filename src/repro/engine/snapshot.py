@@ -88,7 +88,9 @@ __all__ = [
 #: Bump on any incompatible change to what the pickle payload contains or
 #: how the engine restores it.  Old snapshots then refuse to load with a
 #: clear :class:`StateError` instead of resuming wrong state.
-SNAPSHOT_VERSION = 1
+#: 2: batched engine refresh — the engine pickle gained the share memo
+#:    (``_share_memo``) and the cached ``_batched_refresh`` flag.
+SNAPSHOT_VERSION = 2
 
 #: First header field; identifies the file format itself.
 SNAPSHOT_MAGIC = "repro-engine-snapshot"
@@ -106,6 +108,10 @@ _OPERATIONAL_FIELDS = {
     "checkpoint_wall_interval_s": None,
     "checkpoint_keep": 3,
     "max_wall_clock_s": None,
+    # The batched and scalar refresh paths are bit-identical (the
+    # differential tests prove it), so which one runs is operational:
+    # a snapshot written under either mode resumes under either.
+    "batched_refresh": True,
 }
 
 

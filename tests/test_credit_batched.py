@@ -1,0 +1,480 @@
+"""Differential harness for the batched engine refresh (PR 9).
+
+Three layers of proof that the vectorized credit-share path is exactly
+the scalar path:
+
+* solver level — :func:`repro.cluster.xen.compute_shares_batch` versus
+  per-row :func:`compute_shares`, bit for bit, over hypothesis-driven
+  random batches (ragged lengths, zero caps/weights, tiny capacities,
+  default and explicit weights);
+* kernel level — :func:`repro.cluster.vm.batch_eta` versus
+  :meth:`Vm.eta`, and :meth:`Simulator.at_many` versus per-item
+  :meth:`Simulator.at` (same fired order on both heap paths);
+* engine level — whole simulations with ``batched_refresh`` on and off
+  (chaos, quarantine and the power manager included) must produce equal
+  ``SimulationResult.canonical()`` rows and event traces.
+
+Plus the water-filling fairness properties that hold regardless of the
+execution path (conservation, cap respect, weight monotonicity,
+permutation equivariance) and the degenerate-input hardening added with
+the batch: NaN/inf rejection, weight-sum overflow, empty demand.
+"""
+
+import pickle
+
+import numpy as np
+import pytest
+from hypothesis import HealthCheck, given, settings, strategies as st
+
+from repro.cluster.faults import FaultConfig
+from repro.cluster.spec import ClusterSpec
+from repro.cluster.vm import Vm, VmState, batch_eta
+from repro.cluster.xen import (
+    CreditScheduler,
+    ShareMemo,
+    compute_shares,
+    compute_shares_batch,
+)
+from repro.des.simulator import Simulator
+from repro.engine.config import EngineConfig
+from repro.engine.datacenter import DatacenterSimulation
+from repro.errors import ConfigurationError, SimulationError
+from repro.scheduling.power_manager import PowerManagerConfig
+from repro.scheduling.score import ScoreConfig
+from repro.scheduling.score.policy import ScoreBasedPolicy
+from repro.units import HOUR
+from repro.workload.job import Job
+from repro.workload.synthetic import Grid5000WeekGenerator, SyntheticConfig
+
+# --------------------------------------------------------------- strategies
+
+#: Domain caps spanning idle (0) through several hosts' worth of demand,
+#: plus awkward magnitudes that stress the water-filling rounding.
+_cap = st.one_of(
+    st.just(0.0),
+    st.floats(min_value=0.0, max_value=500.0),
+    st.floats(min_value=1e-9, max_value=1e-3),
+)
+_weight = st.one_of(
+    st.just(0.0),
+    st.floats(min_value=0.0, max_value=10.0),
+)
+_capacity = st.one_of(
+    st.just(0.0),
+    st.floats(min_value=1e-14, max_value=1e-6),
+    st.floats(min_value=1.0, max_value=1600.0),
+)
+
+
+@st.composite
+def share_problem(draw, max_domains=12):
+    """One host's (capacity, caps, weights-or-None) share problem."""
+    caps = draw(st.lists(_cap, min_size=0, max_size=max_domains))
+    weights = draw(
+        st.one_of(
+            st.none(),
+            st.lists(_weight, min_size=len(caps), max_size=len(caps)),
+        )
+    )
+    return draw(_capacity), caps, weights
+
+
+# ----------------------------------------------- solver-level bit identity
+
+
+class TestBatchedSolverOracle:
+    @settings(max_examples=200, deadline=None)
+    @given(problems=st.lists(share_problem(), min_size=0, max_size=10))
+    def test_batch_equals_scalar_bit_for_bit(self, problems):
+        """The tentpole contract: every row, float for float."""
+        capacities = [p[0] for p in problems]
+        caps_rows = [p[1] for p in problems]
+        weights_rows = [p[2] for p in problems]
+        batch = compute_shares_batch(capacities, caps_rows, weights_rows)
+        assert len(batch) == len(problems)
+        for i, (capacity, caps, weights) in enumerate(problems):
+            scalar = compute_shares(capacity, caps, weights)
+            assert batch[i].shape == scalar.shape
+            # Bitwise, not approximate: eta computations, event times and
+            # every committed baseline ride on these exact floats.
+            assert np.array_equal(batch[i], scalar), (i, capacity, caps, weights)
+
+    def test_all_weights_none_vector(self):
+        out = compute_shares_batch([300.0, 400.0], [[100.0, 300.0], [50.0]])
+        assert out[0].tolist() == compute_shares(300.0, [100.0, 300.0]).tolist()
+        assert out[1].tolist() == [50.0]
+
+    def test_empty_batch(self):
+        assert compute_shares_batch([], []) == []
+
+    def test_ragged_rows_with_empty_row(self):
+        out = compute_shares_batch(
+            [400.0, 100.0, 0.0],
+            [[], [80.0, 80.0], [50.0]],
+        )
+        assert out[0].size == 0
+        assert out[1].tolist() == compute_shares(100.0, [80.0, 80.0]).tolist()
+        assert out[2].tolist() == [0.0]
+
+    def test_length_mismatches_rejected(self):
+        with pytest.raises(ConfigurationError):
+            compute_shares_batch([100.0], [[50.0], [60.0]])
+        with pytest.raises(ConfigurationError):
+            compute_shares_batch([100.0], [[50.0]], [[1.0], [2.0]])
+        with pytest.raises(ConfigurationError):
+            compute_shares_batch([100.0], [[50.0, 60.0]], [[1.0]])
+
+    def test_overflow_rows_delegate_to_scalar(self):
+        """Finite weights whose sum overflows use the scalar guard path."""
+        big = [1e308, 1e308]
+        scalar = compute_shares(100.0, big, big)
+        assert scalar.tolist() == [50.0, 50.0]  # still work-conserving
+        batch = compute_shares_batch(
+            [100.0, 300.0], [big, [100.0, 300.0]], [big, None]
+        )
+        assert np.array_equal(batch[0], scalar)
+        assert np.array_equal(batch[1], compute_shares(300.0, [100.0, 300.0]))
+
+
+# --------------------------------------------------------- fairness laws
+
+
+class TestWaterFillingProperties:
+    @settings(max_examples=200, deadline=None)
+    @given(problem=share_problem())
+    def test_conservation_and_cap_respect(self, problem):
+        capacity, caps, weights = problem
+        shares = compute_shares(capacity, caps, weights)
+        caps_arr = np.asarray(caps, dtype=float)
+        assert np.all(shares >= 0.0)
+        assert np.all(shares <= caps_arr + 1e-9)
+        demand = float(caps_arr.sum()) if caps else 0.0
+        total = float(shares.sum()) if caps else 0.0
+        assert total <= max(capacity, demand) + 1e-6
+        if demand <= capacity:
+            # Uncontended: everyone gets exactly their cap.
+            assert np.array_equal(shares, caps_arr)
+
+    @settings(max_examples=100, deadline=None)
+    @given(
+        caps=st.lists(
+            st.floats(min_value=1.0, max_value=400.0), min_size=2, max_size=8
+        ),
+        weights=st.lists(
+            st.floats(min_value=0.1, max_value=10.0), min_size=2, max_size=8
+        ),
+        index=st.integers(min_value=0, max_value=7),
+        bump=st.floats(min_value=1.1, max_value=5.0),
+    )
+    def test_weight_monotonicity(self, caps, weights, index, bump):
+        """Raising one domain's weight never shrinks its share."""
+        n = min(len(caps), len(weights))
+        caps, weights = caps[:n], weights[:n]
+        index %= n
+        before = compute_shares(300.0, caps, weights)[index]
+        raised = list(weights)
+        raised[index] *= bump
+        after = compute_shares(300.0, caps, raised)[index]
+        assert after >= before - 1e-6 * max(1.0, before)
+
+    @settings(max_examples=100, deadline=None)
+    @given(
+        caps=st.lists(
+            st.floats(min_value=0.0, max_value=400.0), min_size=1, max_size=8
+        ),
+        seed=st.integers(min_value=0, max_value=2**31 - 1),
+    )
+    def test_permutation_equivariance(self, caps, seed):
+        """Shuffling domains shuffles shares — mathematically.
+
+        Only approximately in floating point: the water-filling sums are
+        order-dependent, which is exactly why :class:`ShareMemo` keys on
+        the ordered tuple and why the batch solver preserves row order.
+        """
+        perm = np.random.RandomState(seed).permutation(len(caps))
+        base = compute_shares(200.0, caps)
+        shuffled = compute_shares(200.0, [caps[i] for i in perm])
+        np.testing.assert_allclose(
+            shuffled, base[perm], rtol=1e-9, atol=1e-9
+        )
+
+
+# ----------------------------------------------------------- edge cases
+
+
+class TestDegenerateInputs:
+    def test_allocate_empty_demand_dict(self):
+        assert CreditScheduler(400.0).allocate({}) == {}
+
+    def test_allocate_missing_weight_key_names_domain(self):
+        cs = CreditScheduler(400.0)
+        with pytest.raises(ConfigurationError, match="'vm2'"):
+            cs.allocate({"vm1": 50.0, "vm2": 50.0}, weights={"vm1": 1.0})
+
+    def test_all_zero_weights_fall_back_to_epsilon(self):
+        """Zero-weight runnable domains still split the capacity."""
+        shares = compute_shares(100.0, [80.0, 80.0], weights=[0.0, 0.0])
+        assert shares.tolist() == [50.0, 50.0]
+
+    def test_capacity_below_tolerance_allocates_nothing(self):
+        shares = compute_shares(1e-13, [100.0, 100.0])
+        assert shares.tolist() == [0.0, 0.0]
+        batch = compute_shares_batch([1e-13], [[100.0, 100.0]])
+        assert np.array_equal(batch[0], shares)
+
+    def test_capacity_smaller_than_epsilon_times_demand(self):
+        """Tiny-but-positive capacity terminates and conserves."""
+        shares = compute_shares(1e-9, [1e6, 1e6])
+        assert np.all(shares >= 0.0)
+        assert float(shares.sum()) <= 1e-9 * (1 + 1e-9)
+
+    @pytest.mark.parametrize("bad", [float("nan"), float("inf")])
+    def test_nonfinite_capacity_rejected(self, bad):
+        with pytest.raises(ConfigurationError):
+            compute_shares(bad, [100.0])
+        with pytest.raises(ConfigurationError):
+            compute_shares_batch([bad], [[100.0]])
+
+    @pytest.mark.parametrize("bad", [float("nan"), float("inf"), -1.0])
+    def test_nonfinite_or_negative_caps_rejected(self, bad):
+        with pytest.raises(ConfigurationError):
+            compute_shares(100.0, [50.0, bad])
+        with pytest.raises(ConfigurationError):
+            compute_shares_batch([100.0], [[50.0, bad]])
+
+    @pytest.mark.parametrize("bad", [float("nan"), float("inf"), -1.0])
+    def test_nonfinite_or_negative_weights_rejected(self, bad):
+        with pytest.raises(ConfigurationError):
+            compute_shares(100.0, [50.0, 50.0], weights=[1.0, bad])
+        with pytest.raises(ConfigurationError):
+            compute_shares_batch([100.0], [[50.0, 50.0]], [[1.0, bad]])
+
+
+# ------------------------------------------------------------- ShareMemo
+
+
+class TestShareMemo:
+    def test_hit_returns_identical_solution(self):
+        memo = ShareMemo()
+        key = (400.0, (300.0, 300.0), (300.0, 300.0))
+        assert memo.get(key) is None
+        solved = tuple(float(s) for s in compute_shares(400.0, [300.0, 300.0]))
+        memo.put(key, solved)
+        assert memo.get(key) == solved
+        assert memo.hits == 1 and memo.misses == 1
+        assert len(memo) == 1
+
+    def test_permuted_key_is_a_different_entry(self):
+        """Ordered keys: a permuted host must not reuse this solution."""
+        memo = ShareMemo()
+        memo.put((300.0, (100.0, 200.0), (1.0, 2.0)), (100.0, 200.0))
+        assert memo.get((300.0, (200.0, 100.0), (2.0, 1.0))) is None
+
+    def test_fifo_eviction_drops_oldest(self):
+        memo = ShareMemo(max_entries=2)
+        memo.put(("a",), (1.0,))
+        memo.put(("b",), (2.0,))
+        memo.put(("c",), (3.0,))
+        assert len(memo) == 2
+        assert memo.get(("a",)) is None
+        assert memo.get(("b",)) == (2.0,)
+        assert memo.get(("c",)) == (3.0,)
+
+    def test_reput_existing_key_does_not_evict(self):
+        memo = ShareMemo(max_entries=2)
+        memo.put(("a",), (1.0,))
+        memo.put(("b",), (2.0,))
+        memo.put(("a",), (1.0,))
+        assert memo.get(("b",)) == (2.0,)
+
+    def test_max_entries_validated(self):
+        with pytest.raises(ConfigurationError):
+            ShareMemo(max_entries=0)
+
+    def test_pickle_round_trip(self):
+        memo = ShareMemo(max_entries=17)
+        memo.put(("k",), (4.0,))
+        memo.get(("k",))
+        memo.get(("missing",))
+        clone = pickle.loads(pickle.dumps(memo))
+        assert clone.max_entries == 17
+        assert (clone.hits, clone.misses) == (memo.hits, memo.misses)
+        assert clone.get(("k",)) == (4.0,)
+
+
+# ----------------------------------------------------- batched eta kernel
+
+
+def _running_vm(vm_id, work, done, share, anchor):
+    vm = Vm(Job(job_id=vm_id, submit_time=0.0, runtime_s=work / 100.0,
+                cpu_pct=100.0, mem_mb=512.0))
+    vm.state = VmState.RUNNING
+    vm.work_done = done
+    vm.share = share
+    vm.last_progress_t = anchor
+    return vm
+
+
+class TestBatchEta:
+    @settings(max_examples=100, deadline=None)
+    @given(data=st.data())
+    def test_matches_scalar_eta_bitwise(self, data):
+        now = data.draw(st.floats(min_value=0.0, max_value=1e6), label="now")
+        n = data.draw(st.integers(min_value=1, max_value=12), label="n")
+        vms = []
+        for i in range(n):
+            work = data.draw(st.floats(min_value=1.0, max_value=1e6))
+            done = data.draw(st.floats(min_value=0.0, max_value=work * 1.5))
+            share = data.draw(st.floats(min_value=1e-6, max_value=400.0))
+            anchor = data.draw(st.floats(min_value=0.0, max_value=now))
+            vms.append(_running_vm(i, work, done, share, anchor))
+        out = batch_eta(vms, now)
+        for i, vm in enumerate(vms):
+            expected = vm.eta(now)
+            assert out[i] == expected, (i, expected, out[i])
+
+    def test_finished_vm_maps_to_now(self):
+        vm = _running_vm(0, 100.0, 100.0, 50.0, 3.0)
+        assert batch_eta([vm], 7.5)[0] == 7.5 == vm.eta(7.5)
+
+
+# --------------------------------------------------------------- at_many
+
+
+class TestAtMany:
+    @staticmethod
+    def _fired_order(schedule):
+        """Run ``schedule(sim, record)`` and return the fired tags."""
+        sim = Simulator()
+        fired = []
+        schedule(sim, fired.append)
+        sim.run()
+        return fired
+
+    @settings(max_examples=60, deadline=None)
+    @given(
+        times=st.lists(
+            st.floats(min_value=0.0, max_value=100.0), min_size=0, max_size=24
+        ),
+        pre=st.integers(min_value=0, max_value=10),
+    )
+    def test_same_fired_order_as_per_item_at(self, times, pre):
+        """Batch scheduling fires identically to per-item ``at`` calls —
+        on both the heappush path (small batch vs. large heap) and the
+        extend-and-heapify path (``pre`` controls the live-heap size)."""
+
+        def batch(sim, record):
+            for j in range(pre):
+                sim.at(1000.0 + j, lambda j=j: record(("pre", j)))
+            sim.at_many(
+                times,
+                [lambda i=i: record(("batch", i)) for i in range(len(times))],
+            )
+
+        def per_item(sim, record):
+            for j in range(pre):
+                sim.at(1000.0 + j, lambda j=j: record(("pre", j)))
+            for i, t in enumerate(times):
+                sim.at(t, lambda i=i: record(("batch", i)))
+
+        assert self._fired_order(batch) == self._fired_order(per_item)
+
+    def test_handles_cancel_individually(self):
+        sim = Simulator()
+        fired = []
+        handles = sim.at_many(
+            [1.0] * 10, [lambda i=i: fired.append(i) for i in range(10)]
+        )
+        for h in handles[::2]:
+            h.cancel()
+        sim.run()
+        assert fired == [1, 3, 5, 7, 9]
+
+    def test_length_mismatch_rejected(self):
+        sim = Simulator()
+        with pytest.raises(SimulationError):
+            sim.at_many([1.0], [lambda: None, lambda: None])
+        with pytest.raises(SimulationError):
+            sim.at_many([1.0], [lambda: None], labels=["a", "b"])
+
+    def test_past_and_nonfinite_times_rejected(self):
+        sim = Simulator(start=10.0)
+        with pytest.raises(SimulationError):
+            sim.at_many([9.0] + [11.0] * 9, [lambda: None] * 10)
+        with pytest.raises(SimulationError):
+            sim.at_many([float("nan")] * 10, [lambda: None] * 10)
+
+
+# ----------------------------------------------- whole-engine differential
+
+_HORIZON_H = 8.0
+
+
+def _engine(*, batched, chaos, pm, seed=37):
+    cfg = SyntheticConfig(horizon_s=_HORIZON_H * HOUR, base_rate_per_hour=28.0)
+    trace = Grid5000WeekGenerator(cfg, seed=seed).generate()
+    return DatacenterSimulation(
+        cluster=ClusterSpec.homogeneous(5),
+        policy=ScoreBasedPolicy(ScoreConfig.sb()),
+        trace=trace,
+        pm_config=(
+            PowerManagerConfig(lambda_min=0.40, lambda_max=0.90) if pm else None
+        ),
+        config=EngineConfig(
+            seed=seed,
+            batched_refresh=batched,
+            faults=FaultConfig.uniform(0.10) if chaos else None,
+            chaos_seed=11 if chaos else None,
+            trace_events=True,
+        ),
+    )
+
+
+def _trace_sig(engine):
+    return [
+        (r.time, r.kind.value, r.vm_id, r.host_id, r.detail)
+        for r in engine.trace_log
+    ]
+
+
+class TestEngineDifferential:
+    """Batched default vs. scalar oracle over full runs.
+
+    Chaos injects failed creations / aborted migrations / quarantines and
+    the power manager injects boot/shutdown churn — together they exercise
+    every dirty-set interleaving the engine produces (multi-host events,
+    empty refreshes, hosts leaving mid-operation).
+    """
+
+    @pytest.mark.parametrize("pm", [False, True], ids=["pm-off", "pm-on"])
+    @pytest.mark.parametrize("chaos", [False, True],
+                             ids=["chaos-off", "chaos-on"])
+    def test_batched_equals_scalar(self, chaos, pm):
+        batched = _engine(batched=True, chaos=chaos, pm=pm)
+        scalar = _engine(batched=False, chaos=chaos, pm=pm)
+        res_b = batched.run()
+        res_s = scalar.run()
+        assert res_b.canonical() == res_s.canonical()
+        assert _trace_sig(batched) == _trace_sig(scalar)
+        # The memo did real work on the batched side and none on scalar.
+        assert res_b.share_memo_stats["hits"] > 0
+        assert res_s.share_memo_stats == {}
+
+    @settings(
+        max_examples=4,
+        deadline=None,
+        suppress_health_check=[HealthCheck.data_too_large],
+    )
+    @given(seed=st.integers(min_value=0, max_value=2**16))
+    def test_batched_equals_scalar_random_workloads(self, seed):
+        """Random workload realizations, chaos + pm on (the worst case)."""
+        res_b = _engine(batched=True, chaos=True, pm=True, seed=seed).run()
+        res_s = _engine(batched=False, chaos=True, pm=True, seed=seed).run()
+        assert res_b.canonical() == res_s.canonical()
+
+    def test_memo_stats_are_operational(self):
+        """``share_memo_stats`` never enters the canonical contract."""
+        res = _engine(batched=True, chaos=False, pm=False).run()
+        assert res.share_memo_stats["misses"] >= 1
+        assert "share_memo_stats" not in res.canonical()
+        assert "share_memo_stats" in res.__class__.OPERATIONAL_FIELDS

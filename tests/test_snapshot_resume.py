@@ -153,6 +153,86 @@ class TestKillResumeBitIdentity:
         assert result.snapshot_restores == 0
 
 
+# ---------------------------------------- batched-refresh differentials
+
+
+class TestBatchedRefreshDifferential:
+    """The PR 9 whole-sim oracle: ``batched_refresh`` is invisible.
+
+    The batched credit-share path must be bit-identical to the scalar
+    loop over entire runs — including runs that are killed and resumed
+    with a populated share memo, and runs resumed under the *other*
+    mode (the flag is operational, not part of the snapshot
+    fingerprint).
+    """
+
+    def test_week_scale_batched_equals_scalar(self):
+        """A full simulated week (diurnal + weekend structure) at a rate
+        sized to keep the pair of runs in tier-1 budget."""
+        cfg = SyntheticConfig(horizon_s=7 * 24 * HOUR, base_rate_per_hour=4.0)
+
+        def run(batched):
+            engine = DatacenterSimulation(
+                cluster=ClusterSpec.homogeneous(6),
+                policy=ScoreBasedPolicy(ScoreConfig.sb()),
+                trace=Grid5000WeekGenerator(cfg, seed=SEED).generate(),
+                pm_config=PowerManagerConfig(lambda_min=0.40, lambda_max=0.90),
+                config=EngineConfig(seed=SEED, batched_refresh=batched,
+                                    trace_events=True),
+            )
+            return engine, engine.run()
+
+        eng_b, res_b = run(True)
+        eng_s, res_s = run(False)
+        assert res_b.canonical() == res_s.canonical()
+        assert trace_sig(eng_b) == trace_sig(eng_s)
+        # The memo earned its keep across the week on the batched side.
+        stats = res_b.share_memo_stats
+        assert stats["hits"] > stats["misses"]
+        assert res_s.share_memo_stats == {}
+
+    def test_kill_resume_with_populated_memo(self, tmp_path):
+        """Resume mid-run with a warm share memo: still bit-identical."""
+        ref = build_engine(None, chaos=True, pm=True).run().canonical()
+
+        engine = build_engine(tmp_path, chaos=True, pm=True)
+        engine.run()
+        snaps = list_snapshots(engine._snapshotter.directory)
+        assert len(snaps) >= 3
+        # Skip the t=0 snapshot: the memo must be demonstrably warm.
+        for path in snaps[1:]:
+            resumed = load_snapshot(path)
+            assert resumed._share_memo is not None
+            assert len(resumed._share_memo) > 0
+            resumed.adopt_operational(EngineConfig(seed=SEED))
+            assert resumed.run().canonical() == ref, path.name
+
+    @pytest.mark.parametrize("first,second", [(True, False), (False, True)],
+                             ids=["batched-then-scalar", "scalar-then-batched"])
+    def test_cross_mode_resume(self, tmp_path, first, second):
+        """A snapshot taken under one mode resumes under the other.
+
+        ``batched_refresh`` is excluded from the config fingerprint
+        precisely because the paths are bit-identical; this is the test
+        that keeps that exclusion honest.
+        """
+        ref = build_engine(None, chaos=True, pm=True,
+                           batched_refresh=second).run().canonical()
+
+        engine = build_engine(tmp_path, chaos=True, pm=True,
+                              batched_refresh=first)
+        engine.run()
+        path = latest_snapshot(engine._snapshotter.directory)
+        mid = list_snapshots(engine._snapshotter.directory)[1]
+        for snap in (mid, path):
+            resumed = load_snapshot(snap)
+            resumed.adopt_operational(
+                EngineConfig(seed=SEED, batched_refresh=second)
+            )
+            assert resumed._batched_refresh is second
+            assert resumed.run().canonical() == ref, snap.name
+
+
 # -------------------------------------------------------- graceful stops
 
 
