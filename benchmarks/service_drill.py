@@ -1,0 +1,279 @@
+"""Service drill: SIGKILL the live control plane mid-soak, resume, replay.
+
+The control-plane counterpart of ``crash_drill.py``.  One deterministic
+synthetic admission stream is served three ways through the real CLI:
+
+1. **baseline** — an uninterrupted soak; its canonical result JSON is the
+   ground truth and its ``service stats:`` line carries the decision
+   latency percentiles gated below;
+2. **victim + resume** — the same soak dies via the CLI's ``--kill-after``
+   hook (``os._exit(137)`` after N admissions: no journal close, no
+   checkpoint flush beyond what the engine already wrote — a SIGKILL in
+   all but delivery mechanism), then restarts with ``--resume`` from the
+   newest snapshot plus the journal tail.  The resumed canonical result
+   must be byte-identical to the baseline's;
+3. **replay** — the killed-and-resumed journal is re-executed through a
+   fresh engine (``repro-sim replay --baseline``), which must reproduce
+   every journaled decision and the baseline canonical result.
+
+On top of bit-identity the drill audits the journal directly: admission
+sequence numbers must be exactly ``0..n-1`` with no gap and no duplicate
+(zero lost, zero duplicated decisions across the kill), and the baseline
+p99 decision latency must stay under ``--p99-budget-ms``.
+
+Usage (CI runs exactly this)::
+
+    PYTHONPATH=src python benchmarks/service_drill.py --chaos 0.08
+
+Exit 1 on any divergence, audit failure, or latency-budget breach.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import os
+import subprocess
+import sys
+import tempfile
+from typing import Dict, List, Optional, Tuple
+
+_STATS_MARKER = "service stats: "
+
+
+def _env() -> Dict[str, str]:
+    env = dict(os.environ)
+    src = os.path.join(
+        os.path.dirname(os.path.dirname(os.path.abspath(__file__))), "src"
+    )
+    env["PYTHONPATH"] = src + os.pathsep + env.get("PYTHONPATH", "")
+    return env
+
+
+def _serve_cmd(args: argparse.Namespace, journal: str) -> List[str]:
+    cmd = [
+        sys.executable, "-m", "repro.cli", "serve",
+        "--journal", journal,
+        "--hosts", str(args.hosts),
+        "--seed", str(args.seed),
+        "--synthetic-hours", str(args.hours),
+        "--synthetic-rate", str(args.rate),
+        "--round-budget", str(args.round_budget),
+        "--drain-grace-s", str(args.drain_grace_s),
+    ]
+    if args.chaos is not None:
+        cmd += ["--chaos", str(args.chaos)]
+    return cmd
+
+
+def _replay_cmd(args: argparse.Namespace, journal: str) -> List[str]:
+    cmd = [
+        sys.executable, "-m", "repro.cli", "replay",
+        "--journal", journal,
+        "--hosts", str(args.hosts),
+        "--seed", str(args.seed),
+        "--drain-grace-s", str(args.drain_grace_s),
+    ]
+    if args.chaos is not None:
+        cmd += ["--chaos", str(args.chaos)]
+    return cmd
+
+
+def _run(cmd: List[str], *, timeout: float = 1200.0) -> subprocess.CompletedProcess:
+    return subprocess.run(
+        cmd, capture_output=True, text=True, timeout=timeout, env=_env()
+    )
+
+
+def _parse_stats(stdout: str) -> Optional[Dict]:
+    for line in stdout.splitlines():
+        if line.startswith(_STATS_MARKER):
+            return json.loads(line[len(_STATS_MARKER):])
+    return None
+
+
+def run_baseline(args, tmp: str) -> Tuple[Dict, Dict]:
+    """Uninterrupted soak; returns (canonical result, service stats)."""
+    journal = os.path.join(tmp, "baseline.jsonl")
+    result_json = os.path.join(tmp, "baseline.json")
+    proc = _run(_serve_cmd(args, journal) + ["--result-json", result_json])
+    if proc.returncode != 0:
+        raise RuntimeError(f"baseline serve failed:\n{proc.stderr[-2000:]}")
+    stats = _parse_stats(proc.stdout)
+    if stats is None:
+        raise RuntimeError("baseline serve printed no service stats line")
+    with open(result_json) as fh:
+        return json.load(fh), stats
+
+
+def run_kill_resume(args, tmp: str) -> Tuple[Dict, Dict, str]:
+    """Kill after N admissions, resume; returns (canonical, stats, journal)."""
+    journal = os.path.join(tmp, "drill.jsonl")
+    ckpt_dir = os.path.join(tmp, "ckpt")
+    result_json = os.path.join(tmp, "resumed.json")
+    ckpt_flags = [
+        "--checkpoint-dir", ckpt_dir,
+        "--checkpoint-interval", str(args.checkpoint_interval),
+    ]
+    victim = _run(
+        _serve_cmd(args, journal)
+        + ckpt_flags
+        + ["--kill-after", str(args.kill_after)]
+    )
+    if victim.returncode != 137:
+        raise RuntimeError(
+            f"victim expected to die with exit 137, got "
+            f"{victim.returncode}:\n{victim.stderr[-2000:]}"
+        )
+    print(
+        f"victim died at admission #{args.kill_after} (exit 137); "
+        f"resuming from {ckpt_dir} + journal tail"
+    )
+    resumed = _run(
+        _serve_cmd(args, journal)
+        + ckpt_flags
+        + ["--resume", "--result-json", result_json]
+    )
+    if resumed.returncode != 0:
+        raise RuntimeError(f"resume failed:\n{resumed.stderr[-2000:]}")
+    for line in resumed.stderr.splitlines():
+        if line.startswith(("restored snapshot", "no snapshot", "caught up")):
+            print(f"  {line}")
+    stats = _parse_stats(resumed.stdout)
+    if stats is None:
+        raise RuntimeError("resumed serve printed no service stats line")
+    with open(result_json) as fh:
+        return json.load(fh), stats, journal
+
+
+def audit_journal(journal: str) -> List[str]:
+    """Zero lost / zero duplicated decisions across the kill, from the log."""
+    admits: List[int] = []
+    decisions: List[int] = []
+    resumes = 0
+    with open(journal) as fh:
+        for line in fh:
+            line = line.strip()
+            if not line:
+                continue
+            rec = json.loads(line)
+            kind = rec.get("kind")
+            if kind == "svc_admit":
+                admits.append(int(json.loads(rec["detail"])["seq"]))
+            elif kind == "svc_decision":
+                decisions.append(int(json.loads(rec["detail"])["seq"]))
+            elif kind == "svc_resume":
+                resumes += 1
+    failures: List[str] = []
+    n = len(admits)
+    if sorted(admits) != list(range(n)):
+        failures.append(
+            f"admission ids are not exactly 0..{n - 1}: lost or duplicated "
+            f"admissions across the kill"
+        )
+    if sorted(decisions) != list(range(n)):
+        missing = set(range(n)) - set(decisions)
+        dupes = len(decisions) - len(set(decisions))
+        failures.append(
+            f"decision seqs != admissions: {len(decisions)} decisions for "
+            f"{n} admits ({len(missing)} lost, {dupes} duplicated)"
+        )
+    if resumes < 1:
+        failures.append(
+            "journal holds no svc_resume marker — the drill never actually "
+            "resumed (victim killed too early?)"
+        )
+    if not failures:
+        print(
+            f"journal audit: {n} admissions, {len(decisions)} decisions, "
+            f"{resumes} resume marker(s) — zero lost, zero duplicated"
+        )
+    return failures
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--hosts", type=int, default=100)
+    parser.add_argument("--seed", type=int, default=11)
+    parser.add_argument("--hours", type=float, default=2.0,
+                        help="synthetic admission stream span")
+    parser.add_argument("--rate", type=float, default=35.0,
+                        help="base admissions per hour")
+    parser.add_argument("--round-budget", type=int, default=4,
+                        help="anytime hill-climb iteration cap per round")
+    parser.add_argument("--drain-grace-s", type=float, default=6 * 3600.0,
+                        help="simulated drain window after last admission")
+    parser.add_argument("--chaos", type=float, nargs="?", const=0.08,
+                        default=None, metavar="RATE",
+                        help="seeded host fault injection during the soak")
+    parser.add_argument("--kill-after", type=int, default=15, metavar="N",
+                        help="admissions before the victim os._exit(137)s")
+    parser.add_argument("--checkpoint-interval", type=float, default=900.0,
+                        help="simulated seconds between victim snapshots")
+    parser.add_argument("--p99-budget-ms", type=float, default=250.0,
+                        help="baseline p99 decision latency gate")
+    args = parser.parse_args(argv)
+
+    failures: List[str] = []
+    with tempfile.TemporaryDirectory(prefix="service-drill-") as tmp:
+        base, base_stats = run_baseline(args, tmp)
+        print(
+            f"baseline soak: {base_stats['decisions']} decisions, "
+            f"{base_stats['sheds']} sheds, "
+            f"p50 {base_stats['latency_p50_ms']} ms / "
+            f"p99 {base_stats['latency_p99_ms']} ms"
+        )
+        if args.kill_after >= base_stats["decisions"]:
+            raise RuntimeError(
+                f"--kill-after {args.kill_after} >= total decisions "
+                f"{base_stats['decisions']}: the victim would finish "
+                f"before dying"
+            )
+
+        resumed, resumed_stats, journal = run_kill_resume(args, tmp)
+        if resumed != base:
+            drift = [
+                k for k in sorted(set(base) | set(resumed))
+                if base.get(k) != resumed.get(k)
+            ]
+            failures.append(
+                f"kill+resume canonical result drifted from baseline "
+                f"in: {', '.join(drift)}"
+            )
+        else:
+            print("kill+resume canonical result bit-identical to baseline")
+
+        failures += audit_journal(journal)
+
+        replay = _run(
+            _replay_cmd(args, journal)
+            + ["--baseline", os.path.join(tmp, "baseline.json")]
+        )
+        if replay.returncode != 0:
+            failures.append(
+                "replay of the killed-and-resumed journal diverged:\n"
+                + (replay.stdout + replay.stderr)[-2000:]
+            )
+        else:
+            for line in replay.stdout.splitlines():
+                if line.startswith("replay"):
+                    print(line)
+
+        if base_stats["latency_p99_ms"] > args.p99_budget_ms:
+            failures.append(
+                f"baseline p99 decision latency "
+                f"{base_stats['latency_p99_ms']} ms exceeds the "
+                f"{args.p99_budget_ms} ms budget"
+            )
+
+    if failures:
+        for line in failures:
+            print(f"DRILL FAILURE: {line}", file=sys.stderr)
+        return 1
+    print("service drill passed: kill+resume+replay bit-identical, "
+          "zero lost/duplicated decisions, p99 within budget")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

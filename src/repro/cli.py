@@ -14,6 +14,13 @@ Subcommands
     Run the Fig. 1 simulator-vs-testbed validation.
 ``federation``
     Compare geo-dispatchers over the three-site demo federation.
+``serve``
+    Run the live control-plane service over a synthetic admission stream
+    (anytime placement under latency budgets, journaled decisions,
+    SIGTERM-checkpoint / ``--resume`` crash recovery).
+``replay``
+    Re-execute a decision journal through a fresh engine and verify it
+    lands on the identical result — the service's correctness oracle.
 """
 
 from __future__ import annotations
@@ -255,6 +262,100 @@ def build_parser() -> argparse.ArgumentParser:
                          help="compare geo-dispatchers over the demo sites")
     fed.add_argument("--scale", type=float, default=1.0 / 7.0)
     fed.add_argument("--seed", type=int, default=DEFAULT_SEED)
+
+    def _service_flags(p, *, serving: bool) -> None:
+        """Flags shared by serve and replay.
+
+        Everything here shapes the deterministic event sequence, so a
+        replay must repeat the serve invocation's values (the journal is
+        the recipe; these are its ingredients).
+        """
+        p.add_argument("--journal", type=str, required=True, metavar="FILE",
+                       help="decision journal (JSONL; written by serve, "
+                            "read by replay)")
+        p.add_argument("--policy", choices=POLICIES, default="sb")
+        p.add_argument("--solver", choices=SOLVERS, default="hill_climb")
+        p.add_argument("--hosts", type=int, default=100)
+        p.add_argument("--seed", type=int, default=DEFAULT_SEED)
+        p.add_argument("--max-retries", type=int, default=3,
+                       help="retry rounds scheduled for a deferred "
+                            "admission (deterministically jittered "
+                            "exponential backoff)")
+        p.add_argument("--retry-base-s", type=float, default=30.0,
+                       help="base simulated delay of the first retry")
+        p.add_argument("--drain-grace-s", type=float, default=None,
+                       help="simulated grace window after the last "
+                            "admission before the service finalizes "
+                            "(default: the engine's drain grace)")
+        p.add_argument("--chaos", type=float, nargs="?", const=0.05,
+                       default=None, metavar="RATE",
+                       help="inject operation faults at this base rate "
+                            "(deterministic per seed, so replay "
+                            "reproduces them)")
+        p.add_argument("--chaos-seed", type=int, default=None)
+        p.add_argument("--result-json", type=str, default=None,
+                       metavar="FILE",
+                       help="write the final result's canonical dict as "
+                            "JSON (the replay-identity comparand)")
+        if serving:
+            p.add_argument("--round-budget", type=int, default=None,
+                           help="anytime hill-climb iteration cap per "
+                                "scheduling round (deterministic)")
+            p.add_argument("--round-deadline-ms", type=float, default=None,
+                           help="wall-clock budget per scheduling round; "
+                                "committed iterations are journaled so "
+                                "replay stays deterministic")
+
+    srv = sub.add_parser(
+        "serve",
+        help="run the live control-plane service (synthetic admissions)",
+        description=(
+            "Serve a deterministic synthetic admission stream through the "
+            "asyncio control plane: bounded queue, anytime placement "
+            "budgets, every decision journaled. SIGTERM checkpoints and "
+            "exits 0; --resume restarts from the snapshot plus the "
+            "journal tail with zero lost or duplicated decisions."
+        ),
+    )
+    _service_flags(srv, serving=True)
+    srv.add_argument("--synthetic-hours", type=float, default=4.0,
+                     help="span of the synthetic admission stream")
+    srv.add_argument("--synthetic-rate", type=float, default=40.0,
+                     help="peak arrival rate (jobs/hour) of the stream")
+    srv.add_argument("--synthetic-jobs", type=int, default=None,
+                     help="cap the stream at this many admissions")
+    srv.add_argument("--checkpoint-dir", type=str, default=None,
+                     metavar="DIR",
+                     help="snapshot the engine here (enables SIGTERM "
+                          "checkpointing and --resume)")
+    srv.add_argument("--checkpoint-interval", type=float, default=None,
+                     metavar="SIM_S",
+                     help="snapshot every SIM_S simulated seconds")
+    srv.add_argument("--checkpoint-wall-interval", type=float, default=None,
+                     metavar="S",
+                     help="snapshot every S wall-clock seconds")
+    srv.add_argument("--resume", action="store_true",
+                     help="restore the newest snapshot (if any), recover "
+                          "the journal, catch up, and keep serving")
+    srv.add_argument("--kill-after", type=int, default=None, metavar="N",
+                     help="abort the process (SIGKILL semantics, exit 137) "
+                          "after N admissions — crash-drill hook")
+
+    rep = sub.add_parser(
+        "replay",
+        help="re-execute a decision journal and verify bit-identity",
+        description=(
+            "Feed a serve run's journal back through a fresh engine — "
+            "same code path, journaled admission times and per-round "
+            "iteration budgets — and report any decision that diverges. "
+            "Exit 1 on divergence (or on a --baseline canonical "
+            "mismatch); this is the service's correctness oracle."
+        ),
+    )
+    _service_flags(rep, serving=False)
+    rep.add_argument("--baseline", type=str, default=None, metavar="FILE",
+                     help="canonical-result JSON (from --result-json) to "
+                          "compare against; any field diff exits 1")
     return parser
 
 
@@ -473,6 +574,208 @@ def main(argv: Optional[List[str]] = None) -> int:
 
         print(run_federation(scale=args.scale, seed=args.seed))
         return 0
+
+    if args.command in ("serve", "replay"):
+        import json as _json
+
+        from repro.cluster.faults import FaultConfig
+        from repro.engine.datacenter import DatacenterSimulation
+
+        def build_engine(checkpointing: bool) -> DatacenterSimulation:
+            kwargs = {}
+            if args.drain_grace_s is not None:
+                kwargs["drain_grace_s"] = args.drain_grace_s
+            if checkpointing and getattr(args, "checkpoint_dir", None):
+                kwargs.update(
+                    checkpoint_dir=args.checkpoint_dir,
+                    checkpoint_sim_interval_s=args.checkpoint_interval,
+                    checkpoint_wall_interval_s=args.checkpoint_wall_interval,
+                )
+            return DatacenterSimulation(
+                cluster=paper_cluster(args.hosts),
+                policy=make_policy(
+                    args.policy, seed=args.seed, solver=args.solver
+                ),
+                trace=None,  # live mode: admissions come from the service
+                config=EngineConfig(
+                    seed=args.seed,
+                    faults=(
+                        FaultConfig.uniform(args.chaos)
+                        if args.chaos is not None
+                        else None
+                    ),
+                    chaos_seed=args.chaos_seed,
+                    **kwargs,
+                ),
+            )
+
+        def write_result_json(result) -> None:
+            if args.result_json:
+                with open(args.result_json, "w", encoding="utf-8") as fh:
+                    _json.dump(
+                        result.canonical(), fh, indent=2, sort_keys=True
+                    )
+                print(f"canonical result written to {args.result_json}")
+
+        if args.command == "serve":
+            import os
+            import signal
+
+            from repro.service import (
+                DecisionJournal,
+                PlacementCore,
+                ServiceConfig,
+                ServiceEngine,
+                resume_service,
+                serve_synthetic,
+            )
+            from repro.workload.synthetic import (
+                Grid5000WeekGenerator,
+                SyntheticConfig,
+            )
+
+            round_deadline_s = (
+                None
+                if args.round_deadline_ms is None
+                else args.round_deadline_ms / 1e3
+            )
+            stream_cfg = SyntheticConfig(
+                horizon_s=args.synthetic_hours * 3600.0,
+                base_rate_per_hour=args.synthetic_rate,
+                night_fraction=0.9,
+            )
+            jobs = list(
+                Grid5000WeekGenerator(stream_cfg, seed=args.seed)
+                .generate()
+                .jobs
+            )
+            if args.synthetic_jobs is not None:
+                jobs = jobs[: args.synthetic_jobs]
+
+            engine = build_engine(checkpointing=True)
+            if args.resume:
+                restored = engine.try_restore()
+                if restored is not None:
+                    engine = restored
+                    print(
+                        f"restored snapshot at t={engine.sim.now:.0f}s "
+                        f"({engine.sim.events_processed} events)",
+                        file=sys.stderr,
+                    )
+                else:
+                    print(
+                        "no snapshot found; recovering from the journal "
+                        "alone",
+                        file=sys.stderr,
+                    )
+                svc = resume_service(
+                    engine,
+                    args.journal,
+                    round_budget=args.round_budget,
+                    round_deadline_s=round_deadline_s,
+                    max_retries=args.max_retries,
+                    retry_base_s=args.retry_base_s,
+                )
+                print(
+                    f"caught up: {svc.cursor.admits} admissions applied, "
+                    f"{svc.journal.skipped} journal rewrites deduplicated",
+                    file=sys.stderr,
+                )
+            else:
+                core = PlacementCore(
+                    engine.policy,
+                    round_budget=args.round_budget,
+                    round_deadline_s=round_deadline_s,
+                )
+                svc = ServiceEngine(
+                    engine,
+                    core,
+                    DecisionJournal(args.journal),
+                    max_retries=args.max_retries,
+                    retry_base_s=args.retry_base_s,
+                )
+
+            stop = {"sig": False}
+
+            def _term(signum, frame):
+                stop["sig"] = True
+
+            for signum in (signal.SIGTERM, signal.SIGINT):
+                try:
+                    signal.signal(signum, _term)
+                except ValueError:  # pragma: no cover - non-main thread
+                    pass
+
+            def stop_flag() -> bool:
+                if (
+                    args.kill_after is not None
+                    and svc.cursor.admits >= args.kill_after
+                ):
+                    # The crash drill: die like SIGKILL — no journal
+                    # close, no checkpoint, no cleanup.
+                    os._exit(137)
+                return stop["sig"]
+
+            result, stats = serve_synthetic(
+                svc,
+                jobs,
+                ServiceConfig(
+                    round_budget=args.round_budget,
+                    round_deadline_ms=args.round_deadline_ms,
+                    max_retries=args.max_retries,
+                    retry_base_s=args.retry_base_s,
+                ),
+                stop_flag=stop_flag,
+            )
+            print("service stats: " + _json.dumps(stats))
+            if result is None:
+                print(
+                    "interrupted: state checkpointed; continue with "
+                    "--resume",
+                    file=sys.stderr,
+                )
+                return 0
+            print(results_table([result]))
+            write_result_json(result)
+            return 0
+
+        # replay
+        from repro.service import replay_journal
+
+        report = replay_journal(
+            args.journal,
+            lambda: build_engine(checkpointing=False),
+            max_retries=args.max_retries,
+            retry_base_s=args.retry_base_s,
+        )
+        print(results_table([report.result]))
+        for mismatch in report.mismatches:
+            print(f"MISMATCH: {mismatch}", file=sys.stderr)
+        write_result_json(report.result)
+        ok = report.ok
+        if args.baseline:
+            with open(args.baseline, encoding="utf-8") as fh:
+                baseline = _json.load(fh)
+            # Round-trip through JSON so both sides carry JSON types.
+            replayed = _json.loads(_json.dumps(report.result.canonical()))
+            diff = {
+                key: (baseline.get(key), replayed.get(key))
+                for key in set(baseline) | set(replayed)
+                if baseline.get(key) != replayed.get(key)
+            }
+            if diff:
+                for key, (base_v, got_v) in sorted(diff.items()):
+                    print(
+                        f"BASELINE DIFF {key}: baseline={base_v!r} "
+                        f"replay={got_v!r}",
+                        file=sys.stderr,
+                    )
+                ok = False
+            else:
+                print("replay matches the baseline canonical result")
+        if ok:
+            print(f"replay OK: {len(report.decisions)} decisions verified")
+        return 0 if ok else 1
 
     return 1  # pragma: no cover - argparse enforces commands
 

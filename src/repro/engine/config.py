@@ -54,7 +54,8 @@ class EngineConfig:
         of every placement, migration, boot, failure, ...; zero-cost when
         off.
     trace_capacity:
-        Maximum retained trace records (FIFO-dropped beyond).
+        Maximum retained trace records (FIFO-dropped beyond); ``None``
+        retains everything (service-mode journaling).
     strict_invariants:
         Run the incremental-state oracles
         (:meth:`~repro.cluster.host.Host.verify_aggregates` on every host
@@ -93,7 +94,7 @@ class EngineConfig:
     checkpoint_duration_s: float = 10.0
     record_power_series: bool = False
     trace_events: bool = False
-    trace_capacity: int = 100_000
+    trace_capacity: Optional[int] = 100_000
     strict_invariants: bool = False
     invariant_mode: str = "raise"
     invariant_interval_s: float = 3600.0
@@ -192,8 +193,10 @@ class EngineConfig:
                 f"checkpoint_duration_s must be positive, "
                 f"got {self.checkpoint_duration_s!r}"
             )
-        if self.trace_capacity < 1:
-            raise ConfigurationError("trace capacity must be >= 1")
+        if self.trace_capacity is not None and self.trace_capacity < 1:
+            raise ConfigurationError(
+                "trace capacity must be >= 1 (or None for unbounded)"
+            )
         if self.invariant_mode not in ("raise", "resync"):
             raise ConfigurationError("invariant mode must be 'raise' or 'resync'")
         if self.invariant_interval_s <= 0:

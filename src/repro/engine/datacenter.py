@@ -151,7 +151,11 @@ class DatacenterSimulation(ActuatorsMixin):
         :class:`~repro.workload.stream.JobStream` (see the module
         docstring for the streaming-mode memory contract); consumed
         fresh (caller should pass ``trace.fresh()`` when reusing a
-        workload across runs — :func:`simulate` does).
+        workload across runs — :func:`simulate` does).  ``None`` selects
+        *live mode*: no arrivals are pre-scheduled and the horizon is
+        open-ended — an external driver (the :mod:`repro.service` control
+        plane) feeds jobs in through :meth:`inject_job` and steps the
+        clock itself.
     pm_config:
         λmin/λmax thresholds of the power manager.
     config:
@@ -166,7 +170,7 @@ class DatacenterSimulation(ActuatorsMixin):
         self,
         cluster: ClusterSpec,
         policy: SchedulingPolicy,
-        trace: Union[Trace, JobStream],
+        trace: Optional[Union[Trace, JobStream]],
         pm_config: Optional[PowerManagerConfig] = None,
         config: Optional[EngineConfig] = None,
         power_manager: Optional[PowerManager] = None,
@@ -564,7 +568,12 @@ class DatacenterSimulation(ActuatorsMixin):
         """
         if self._started:
             return self._horizon
-        if self._streaming:
+        if self.trace is None:
+            # Live mode: arrivals come from inject_job, so the horizon is
+            # open-ended and the run() drain guard never applies — the
+            # service layer steps the clock with sim.run(until=...).
+            last_arrival = math.inf
+        elif self._streaming:
             it = iter(self.trace)
             first = next(it, None)
             if first is None:
@@ -621,6 +630,26 @@ class DatacenterSimulation(ActuatorsMixin):
         self.sim.at(
             job.submit_time,
             partial(self._on_stream_arrival, job),
+            priority=-1,
+            label=f"arrival:{job.job_id}",
+        )
+
+    def inject_job(self, job: Job) -> None:
+        """Admit one externally supplied job into a live-mode engine.
+
+        The service layer's analogue of a trace arrival: the control
+        plane assigns ``job.submit_time`` (>= the current clock — the DES
+        kernel rejects the past) and the arrival fires with the streaming
+        convention's priority ``-1``, so same-time admissions process in
+        admission order ahead of every same-time engine event.  That
+        ordering is what makes a journal replay reproduce the live run's
+        event sequence exactly.
+        """
+        self._arrivals_pending += 1
+        self._active_jobs += 1
+        self.sim.at(
+            job.submit_time,
+            partial(self._on_job_arrival, job),
             priority=-1,
             label=f"arrival:{job.job_id}",
         )
@@ -683,6 +712,28 @@ class DatacenterSimulation(ActuatorsMixin):
         self._touch_all()
         if self._invariants_enabled:
             # Final sweep: the published row must come from verified state.
+            self._check_invariants(self.sim.now)
+        self.metrics.close(self.sim.now)
+        self._result = self._build_result(wall_start)
+        return self._result
+
+    def finalize(self, wall_start: Optional[float] = None) -> SimulationResult:
+        """Close the run and build the result without owning the loop.
+
+        Live mode's ending: the service layer drove the clock itself
+        (``sim.run(until=...)`` per admission batch, then its drain), so
+        this performs exactly the post-loop sequence of :meth:`run` —
+        snapshot flush, final metric touch/close, result build.
+        Idempotent, like :meth:`run`.
+        """
+        if self._result is not None:
+            return self._result
+        if wall_start is None:
+            wall_start = _time.perf_counter()
+        if self._snapshotter is not None:
+            self._snapshotter.flush()
+        self._touch_all()
+        if self._invariants_enabled:
             self._check_invariants(self.sim.now)
         self.metrics.close(self.sim.now)
         self._result = self._build_result(wall_start)
@@ -1680,9 +1731,11 @@ class DatacenterSimulation(ActuatorsMixin):
             # Jobs whose arrival event never fired (horizon overrun) count
             # too.  Keyed on job_id (not vm_id): a Vm constructed with a
             # non-default vm_id would otherwise duplicate or drop its
-            # job's row here.
-            seen = {vm.job.job_id for vm in self.vms.values()}
-            jobs.extend(j for j in self.trace if j.job_id not in seen)
+            # job's row here.  Live mode (trace=None) has no never-arrived
+            # remainder — every job the service admitted got an event.
+            if self.trace is not None:
+                seen = {vm.job.job_id for vm in self.vms.values()}
+                jobs.extend(j for j in self.trace if j.job_id not in seen)
             sat, delay = aggregate(jobs)
             waits = [
                 j.start_time - j.submit_time

@@ -13,10 +13,18 @@ via :attr:`EngineConfig.trace_events` — disabled (zero-cost) by default.
 from __future__ import annotations
 
 import enum
+import warnings
 from dataclasses import dataclass
 from typing import Dict, Iterable, List, Optional
 
-__all__ = ["TraceEventKind", "TraceRecord", "EventTrace"]
+__all__ = [
+    "TraceEventKind",
+    "TraceRecord",
+    "EventTrace",
+    "record_to_dict",
+    "record_from_dict",
+    "read_jsonl",
+]
 
 
 class TraceEventKind(enum.Enum):
@@ -42,6 +50,16 @@ class TraceEventKind(enum.Enum):
     HOST_QUARANTINED = "host_quarantined"
     HOST_UNQUARANTINED = "host_unquarantined"
     VM_REQUEUED = "vm_requeued"
+    # Control-plane service mode (repro.service): the decision journal is
+    # an EventTrace-shaped JSONL stream, so replay tooling reads both
+    # engine traces and service journals with one loader.
+    SVC_ADMIT = "svc_admit"
+    SVC_DECISION = "svc_decision"
+    SVC_SHED = "svc_shed"
+    SVC_RETRY = "svc_retry"
+    SVC_ROUND = "svc_round"
+    SVC_DRAIN = "svc_drain"
+    SVC_RESUME = "svc_resume"
 
 
 @dataclass(frozen=True)
@@ -73,10 +91,13 @@ class EventTrace:
     capacity:
         Maximum records retained; older records are dropped FIFO so a
         week-long run cannot exhaust memory (the drop count is kept).
+        ``None`` disables the bound entirely — service-mode journaling
+        must never silently lose a decision record, so the control plane
+        runs its trace unbounded and ships records to disk instead.
     """
 
-    def __init__(self, capacity: int = 100_000) -> None:
-        self.capacity = int(capacity)
+    def __init__(self, capacity: Optional[int] = 100_000) -> None:
+        self.capacity = None if capacity is None else int(capacity)
         self._records: List[TraceRecord] = []
         self.dropped = 0
 
@@ -92,7 +113,7 @@ class EventTrace:
     ) -> None:
         """Append one record (dropping the oldest beyond capacity)."""
         self._records.append(TraceRecord(time, kind, vm_id, host_id, detail))
-        if len(self._records) > self.capacity:
+        if self.capacity is not None and len(self._records) > self.capacity:
             overflow = len(self._records) - self.capacity
             del self._records[:overflow]
             self.dropped += overflow
@@ -123,10 +144,18 @@ class EventTrace:
         return [r for r in self._records if r.host_id == host_id]
 
     def counts(self) -> Dict[str, int]:
-        """Record counts per kind."""
+        """Record counts per kind, plus ``dropped_records`` when nonzero.
+
+        The ring buffer drops oldest-first once over capacity; surfacing
+        the drop count here keeps "how many placements?" queries honest —
+        a consumer summing per-kind counts sees that the story is
+        incomplete instead of silently reading a truncated log.
+        """
         out: Dict[str, int] = {}
         for r in self._records:
             out[r.kind.value] = out.get(r.kind.value, 0) + 1
+        if self.dropped:
+            out["dropped_records"] = self.dropped
         return out
 
     def story(self, vm_id: int) -> str:
@@ -138,22 +167,81 @@ class EventTrace:
         """Dump all retained records as JSON lines; returns the count.
 
         Used by the CLI's ``--trace-out`` (and CI's chaos-drill artifact):
-        one object per line so a partial file is still parseable.
+        one object per line so a partial file is still parseable.  When
+        the ring buffer dropped records, the file is a truncated story; a
+        ``RuntimeWarning`` says so (replay tooling must refuse such a
+        journal rather than diverge half-way through).
         """
         import json
 
+        if self.dropped:
+            warnings.warn(
+                f"EventTrace dropped {self.dropped} records (capacity "
+                f"{self.capacity}); {path} holds a truncated story — pass "
+                f"capacity=None for lossless journaling",
+                RuntimeWarning,
+                stacklevel=2,
+            )
         with open(path, "w", encoding="utf-8") as fh:
             for r in self._records:
-                fh.write(
-                    json.dumps(
-                        {
-                            "time": r.time,
-                            "kind": r.kind.value,
-                            "vm_id": r.vm_id,
-                            "host_id": r.host_id,
-                            "detail": r.detail,
-                        }
-                    )
-                    + "\n"
-                )
+                fh.write(json.dumps(record_to_dict(r)) + "\n")
         return len(self._records)
+
+
+# ------------------------------------------------------- journal round-trip
+
+
+def record_to_dict(record: TraceRecord) -> Dict[str, object]:
+    """The JSONL wire form of one record (stable key order)."""
+    return {
+        "time": record.time,
+        "kind": record.kind.value,
+        "vm_id": record.vm_id,
+        "host_id": record.host_id,
+        "detail": record.detail,
+    }
+
+
+def record_from_dict(payload: Dict[str, object]) -> TraceRecord:
+    """Rebuild a :class:`TraceRecord` from its wire form.
+
+    Raises ``KeyError``/``ValueError`` on malformed payloads — callers
+    that must survive torn tails go through :func:`read_jsonl`.
+    """
+    return TraceRecord(
+        time=float(payload["time"]),
+        kind=TraceEventKind(payload["kind"]),
+        vm_id=payload.get("vm_id"),
+        host_id=payload.get("host_id"),
+        detail=str(payload.get("detail", "")),
+    )
+
+
+def read_jsonl(path: str) -> List[TraceRecord]:
+    """Load a trace/journal file, tolerating a torn tail.
+
+    A process killed mid-``write`` leaves a truncated last line; replay
+    must survive that (the decision journal is exactly the thing being
+    recovered after a crash).  Corrupt or malformed lines are skipped
+    with a ``RuntimeWarning`` naming the line number — the same contract
+    as ``SweepJournal.read_entries`` — so a journal written right up to a
+    SIGKILL replays every complete record.
+    """
+    import json
+
+    records: List[TraceRecord] = []
+    with open(path, "r", encoding="utf-8") as fh:
+        for lineno, line in enumerate(fh, start=1):
+            line = line.strip()
+            if not line:
+                continue
+            try:
+                records.append(record_from_dict(json.loads(line)))
+            except (json.JSONDecodeError, KeyError, ValueError, TypeError):
+                warnings.warn(
+                    f"{path}:{lineno}: skipping corrupt trace record "
+                    f"(torn tail after a crash?)",
+                    RuntimeWarning,
+                    stacklevel=2,
+                )
+    return records

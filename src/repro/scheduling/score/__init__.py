@@ -21,7 +21,12 @@ pass then repeatedly applies the most beneficial move until no negative
 
 from repro.scheduling.score.config import ScoreConfig
 from repro.scheduling.score.matrix import HostArrayCache, ScoreMatrixBuilder
-from repro.scheduling.score.solver import hill_climb, Move
+from repro.scheduling.score.solver import (
+    AnytimeResult,
+    Move,
+    anytime_hill_climb,
+    hill_climb,
+)
 from repro.scheduling.score.policy import ScoreBasedPolicy
 from repro.scheduling.score.explain import (
     CellExplanation,
@@ -35,6 +40,8 @@ __all__ = [
     "HostArrayCache",
     "ScoreMatrixBuilder",
     "hill_climb",
+    "anytime_hill_climb",
+    "AnytimeResult",
     "Move",
     "ScoreBasedPolicy",
     "CellExplanation",

@@ -33,7 +33,7 @@ from repro.scheduling.score.columnar import ColumnarClusterState
 from repro.scheduling.score.config import ScoreConfig
 from repro.scheduling.score.matrix import HostArrayCache, ScoreMatrixBuilder
 from repro.scheduling.score.persistent import PersistentScoreMatrix
-from repro.scheduling.score.solver import hill_climb
+from repro.scheduling.score.solver import anytime_hill_climb, hill_climb
 from repro.sla.monitor import fulfillment
 
 __all__ = ["ScoreBasedPolicy"]
@@ -112,6 +112,16 @@ class ScoreBasedPolicy(SchedulingPolicy):
         #: ``EngineConfig.observed_reliability`` is on; consulted only when
         #: the config sets ``use_observed_reliability``.
         self.reliability_source: Optional[Callable[[int], float]] = None
+        #: Anytime-mode hook, wired up by the control-plane service
+        #: (:class:`repro.service.anytime.RoundBudgetController`): when
+        #: set, each round's hill climb runs under the budget/deadline the
+        #: controller hands out and reports the iterations it actually
+        #: committed back (the journaled replay token).  None — the
+        #: default everywhere outside service mode — keeps ``decide``
+        #: bit-identical to the plain full climb.  Requires the
+        #: ``hill_climb`` solver (metaheuristics have no anytime prefix
+        #: property).
+        self.budget_controller: Optional["RoundBudget"] = None
 
     def _cached_host_arrays(self, ctx: SchedulingContext) -> HostArrayCache:
         """The per-simulation static host arrays (rebuilt on a new cluster).
@@ -249,7 +259,16 @@ class ScoreBasedPolicy(SchedulingPolicy):
             fulfills = {vm.vm_id: fulfillment(vm, ctx.now) for vm in columns}
         builder = self._builder(ctx, columns, fulfills)
         if self.solver == "hill_climb":
-            moves = hill_climb(builder)
+            controller = self.budget_controller
+            if controller is not None:
+                budget, deadline_s = controller.begin_round(ctx.now)
+                result = anytime_hill_climb(
+                    builder, budget=budget, deadline_s=deadline_s
+                )
+                controller.end_round(ctx.now, result)
+                moves = result.moves
+            else:
+                moves = hill_climb(builder)
         else:
             from repro.scheduling.score.metaheuristics import solve
 

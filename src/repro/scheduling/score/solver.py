@@ -19,14 +19,15 @@ immediately, pinning it).
 
 from __future__ import annotations
 
-from dataclasses import dataclass
-from typing import List
+import math
+from dataclasses import dataclass, field
+from typing import Callable, List, Optional
 
 import numpy as np
 
 from repro.scheduling.score.matrix import ScoreMatrixBuilder
 
-__all__ = ["Move", "hill_climb"]
+__all__ = ["Move", "hill_climb", "AnytimeResult", "anytime_hill_climb"]
 
 
 @dataclass(frozen=True)
@@ -86,3 +87,115 @@ def hill_climb(builder: ScoreMatrixBuilder, *, max_moves: int | None = None) -> 
         )
         builder.apply_move(col, row)
     return moves
+
+
+@dataclass(frozen=True)
+class AnytimeResult:
+    """Outcome of one anytime hill-climb invocation.
+
+    ``iterations`` is the number of moves actually committed — the
+    deterministic replay token: re-running the same matrix state with
+    ``budget=iterations`` reproduces ``moves`` bit for bit, regardless of
+    what wall-clock deadline originally cut the climb short.
+    """
+
+    moves: List[Move] = field(default_factory=list)
+    #: True when the budget/deadline expired with improving cells left —
+    #: the answer is valid but possibly not locally optimal.
+    budget_exhausted: bool = False
+    #: Moves committed (== ``len(moves)``; kept explicit as the journal
+    #: field replay feeds back in as ``budget``).
+    iterations: int = 0
+
+
+def anytime_hill_climb(
+    builder: ScoreMatrixBuilder,
+    *,
+    budget: Optional[int] = None,
+    deadline_s: Optional[float] = None,
+    clock: Optional[Callable[[], float]] = None,
+) -> AnytimeResult:
+    """Algorithm 1 under a latency budget: best answer found so far.
+
+    The climb visits moves in the exact order :func:`hill_climb` does
+    (most-negative cell first, ties broken lowest row then lowest
+    column), so truncation is well-defined: the first iteration always
+    yields the globally best single move, and every prefix of the full
+    climb is itself a feasible schedule — each committed move passed the
+    same capacity checks the full climb applies.
+
+    Parameters
+    ----------
+    builder:
+        Freshly constructed (or round-bound persistent) matrix state;
+        mutated in place exactly as by :func:`hill_climb`.
+    budget:
+        Maximum iterations (committed moves).  The *deterministic* unit:
+        equal budgets on equal matrix state give equal decisions across
+        runs and hosts.  ``None`` or ``math.inf`` means unbounded — the
+        result is then bit-identical to :func:`hill_climb`.
+    deadline_s / clock:
+        Wall-clock cutoff for live serving, checked at iteration
+        boundaries against ``clock()`` (default
+        :func:`time.monotonic`).  Nondeterministic by nature; live mode
+        journals the resulting ``iterations`` so replay can substitute
+        the deterministic budget.
+
+    Returns
+    -------
+    AnytimeResult
+        Moves in application order plus the ``budget_exhausted`` flag
+        (True when improving cells remained at cutoff).
+    """
+    cfg = builder.config
+    if builder.n_cols == 0 or builder.n_rows == 0:
+        return AnytimeResult()
+    limit = (
+        cfg.max_moves if cfg.max_moves is not None else max(16, builder.n_cols)
+    )
+    if budget is not None and not math.isinf(budget):
+        limit = min(limit, int(budget))
+    if deadline_s is not None and clock is None:
+        import time as _time
+
+        clock = _time.monotonic
+
+    moves: List[Move] = []
+    exhausted = False
+    while True:
+        if len(moves) >= limit:
+            # Cut off — but only "exhausted" if an improving cell remains.
+            best = builder.best_move()
+            exhausted = bool(
+                best is not None
+                and np.isfinite(best[2])
+                and best[2] < -cfg.epsilon
+            )
+            break
+        if deadline_s is not None and clock() >= deadline_s:
+            best = builder.best_move()
+            exhausted = bool(
+                best is not None
+                and np.isfinite(best[2])
+                and best[2] < -cfg.epsilon
+            )
+            break
+        best = builder.best_move()
+        if best is None:
+            break
+        row, col, gain = best
+        if not np.isfinite(gain) or gain >= -cfg.epsilon:
+            break
+        vm = builder.columns[col]
+        moves.append(
+            Move(
+                vm_id=vm.vm_id,
+                host_id=builder.hosts[row].host_id,
+                gain=gain,
+                from_queue=bool(builder.is_queued[col]),
+            )
+        )
+        builder.apply_move(col, row)
+    return AnytimeResult(
+        moves=moves, budget_exhausted=exhausted, iterations=len(moves)
+    )

@@ -1,0 +1,98 @@
+"""Per-round anytime-budget hand-off between service and policy.
+
+:class:`RoundBudgetController` plugs into
+:attr:`~repro.scheduling.score.policy.ScoreBasedPolicy.budget_controller`.
+Each scheduling round the policy asks it for a budget (iterations) and an
+optional wall-clock deadline, runs the anytime hill climb under them, and
+reports back how many iterations were actually committed.  The service
+layer drains those reports into the decision journal; replay loads them
+back in and hands the *journaled* iteration counts out as deterministic
+budgets — which is the whole trick that makes a wall-clock-truncated live
+round reproducible bit for bit.
+
+The controller is attached to the policy, so it pickles inside engine
+snapshots: ``rounds_done`` and the not-yet-journaled ``pending`` reports
+are exactly as crash-consistent as the rest of the engine state.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from typing import Deque, List, Optional, Tuple
+
+from repro.errors import ConfigurationError
+from repro.scheduling.score.solver import AnytimeResult
+
+__all__ = ["RoundBudgetController"]
+
+
+class RoundBudgetController:
+    """Budget source + iteration recorder for anytime scheduling rounds.
+
+    Parameters
+    ----------
+    budget:
+        Fixed per-round iteration cap (deterministic); ``None`` leaves the
+        climb bounded only by the config/deadline.
+    deadline_s:
+        Per-round wall-clock budget in seconds (live mode); ``None``
+        disables the deadline.  Nondeterministic by nature — the committed
+        iteration count is what gets journaled for replay.
+    """
+
+    def __init__(
+        self,
+        budget: Optional[int] = None,
+        deadline_s: Optional[float] = None,
+    ) -> None:
+        if budget is not None and budget < 0:
+            raise ConfigurationError(f"round budget must be >= 0, got {budget!r}")
+        if deadline_s is not None and deadline_s <= 0:
+            raise ConfigurationError(
+                f"round deadline must be positive, got {deadline_s!r}"
+            )
+        self.budget = budget
+        self.deadline_s = deadline_s
+        #: Rounds completed over the engine's lifetime — the snapshot
+        #: watermark replay/resume uses to skip already-applied journaled
+        #: budgets.
+        self.rounds_done = 0
+        #: Completed-round reports (sim time, iterations, exhausted) not
+        #: yet drained into the journal, in execution order.
+        self.pending: List[Tuple[float, int, bool]] = []
+        #: Journaled iteration budgets queued for replay/catch-up; once
+        #: drained the controller falls back to live budgets.
+        self.replay_budgets: Deque[int] = deque()
+
+    # ------------------------------------------------------------- policy API
+
+    def begin_round(self, now: float) -> Tuple[Optional[int], Optional[float]]:
+        """Budget and absolute wall deadline for the round starting now."""
+        if self.replay_budgets:
+            # Replay: impose the live run's committed iteration count —
+            # deterministic truncation at the same point of the same
+            # deterministic move order.
+            return self.replay_budgets.popleft(), None
+        deadline = None
+        if self.deadline_s is not None:
+            import time as _time
+
+            deadline = _time.monotonic() + self.deadline_s
+        return self.budget, deadline
+
+    def end_round(self, now: float, result: AnytimeResult) -> None:
+        """Record one completed round (drained by the service layer)."""
+        self.rounds_done += 1
+        self.pending.append((now, result.iterations, result.budget_exhausted))
+
+    # ------------------------------------------------------------ service API
+
+    def drain_pending(self) -> List[Tuple[float, int, bool]]:
+        """Hand the un-journaled round reports over, oldest first."""
+        out = self.pending
+        self.pending = []
+        return out
+
+    def load_replay_budgets(self, iterations: List[int]) -> None:
+        """Queue journaled per-round budgets (replay / post-crash catch-up)."""
+        self.replay_budgets.extend(int(n) for n in iterations)

@@ -129,3 +129,153 @@ class TestGains:
 
     def test_empty_matrix_returns_no_moves(self):
         assert hill_climb(build([make_host(0)], [])) == []
+
+
+class TestAnytimeHillClimb:
+    """The anytime solver: budgeted prefixes of the deterministic climb."""
+
+    def _pair(self, n_hosts=3, n_vms=5):
+        hosts = [make_host(i) for i in range(n_hosts)]
+        vms = [make_vm(i + 1, cpu=50.0 * (1 + i % 4)) for i in range(n_vms)]
+        return hosts, vms
+
+    def test_unbounded_matches_hill_climb(self):
+        from repro.scheduling.score import anytime_hill_climb
+
+        hosts, vms = self._pair()
+        full = hill_climb(build(hosts, vms))
+        result = anytime_hill_climb(build(hosts, vms))
+        assert result.moves == full
+        assert not result.budget_exhausted
+        assert result.iterations == len(full)
+
+    def test_infinite_budget_matches_hill_climb(self):
+        import math
+
+        from repro.scheduling.score import anytime_hill_climb
+
+        hosts, vms = self._pair()
+        full = hill_climb(build(hosts, vms))
+        result = anytime_hill_climb(build(hosts, vms), budget=math.inf)
+        assert result.moves == full
+
+    def test_budget_truncates_to_prefix(self):
+        from repro.scheduling.score import anytime_hill_climb
+
+        hosts, vms = self._pair()
+        full = hill_climb(build(hosts, vms))
+        assert len(full) >= 2  # the scenario must exercise truncation
+        result = anytime_hill_climb(build(hosts, vms), budget=1)
+        assert result.moves == full[:1]
+        assert result.budget_exhausted
+        assert result.iterations == 1
+
+    def test_first_move_is_greedy_best(self):
+        """An exhausted budget still returns the single best greedy move."""
+        from repro.scheduling.score import anytime_hill_climb
+
+        hosts, vms = self._pair()
+        first = build(hosts, vms).best_move()
+        result = anytime_hill_climb(build(hosts, vms), budget=1)
+        assert result.moves  # feasible work existed
+        move = result.moves[0]
+        assert move.host_id == hosts[first[0]].host_id
+        assert move.gain == pytest.approx(first[2])
+
+    def test_zero_budget_returns_empty_but_flags_exhaustion(self):
+        from repro.scheduling.score import anytime_hill_climb
+
+        hosts, vms = self._pair()
+        result = anytime_hill_climb(build(hosts, vms), budget=0)
+        assert result.moves == []
+        assert result.iterations == 0
+        assert result.budget_exhausted  # improving cells remained
+
+    def test_deadline_cuts_climb_and_iterations_replay(self):
+        """A wall-deadline cut is reproducible via its iteration count."""
+        from repro.scheduling.score import anytime_hill_climb
+
+        hosts, vms = self._pair(n_hosts=4, n_vms=8)
+        ticks = iter(range(100))
+
+        def clock():
+            return float(next(ticks))
+
+        # Deadline passes after two clock reads -> at most two moves.
+        cut = anytime_hill_climb(
+            build(hosts, vms), deadline_s=2.0, clock=clock
+        )
+        full = hill_climb(build(hosts, vms))
+        assert cut.moves == full[: cut.iterations]
+        replayed = anytime_hill_climb(
+            build(hosts, vms), budget=cut.iterations
+        )
+        assert replayed.moves == cut.moves
+
+    def test_empty_matrix_short_circuits(self):
+        from repro.scheduling.score import anytime_hill_climb
+
+        result = anytime_hill_climb(build([make_host(0)], []))
+        assert result.moves == []
+        assert not result.budget_exhausted
+
+
+class TestAnytimeProperties:
+    """Hypothesis: every budget yields a prefix; equal budgets agree."""
+
+    @staticmethod
+    def _scenario(host_classes, vm_cpus):
+        classes = [SLOW, MEDIUM, FAST]
+        hosts = [
+            make_host(i, node_class=classes[c % 3])
+            for i, c in enumerate(host_classes)
+        ]
+        vms = [
+            make_vm(i + 1, cpu=float(cpu), mem=256.0 * (1 + i % 3))
+            for i, cpu in enumerate(vm_cpus)
+        ]
+        return hosts, vms
+
+    from hypothesis import given, settings, strategies as st
+
+    @given(
+        host_classes=st.lists(st.integers(0, 2), min_size=1, max_size=5),
+        vm_cpus=st.lists(
+            st.sampled_from([50, 100, 200, 400]), min_size=0, max_size=8
+        ),
+        budget=st.integers(0, 10),
+    )
+    @settings(max_examples=60, deadline=None)
+    def test_budgeted_result_is_prefix_of_full_climb(
+        self, host_classes, vm_cpus, budget
+    ):
+        from repro.scheduling.score import anytime_hill_climb
+
+        hosts, vms = self._scenario(host_classes, vm_cpus)
+        full = hill_climb(build(hosts, vms))
+        result = anytime_hill_climb(build(hosts, vms), budget=budget)
+        # Prefix property: truncation never reorders or invents moves.
+        assert result.moves == full[: len(result.moves)]
+        assert result.iterations == len(result.moves)
+        if not result.budget_exhausted:
+            # Climb ended naturally -> identical to the unbudgeted answer.
+            assert result.moves == full
+
+    @given(
+        host_classes=st.lists(st.integers(0, 2), min_size=1, max_size=4),
+        vm_cpus=st.lists(
+            st.sampled_from([50, 100, 200, 400]), min_size=1, max_size=6
+        ),
+        budget=st.integers(0, 6),
+    )
+    @settings(max_examples=40, deadline=None)
+    def test_equal_budgets_give_equal_decisions(
+        self, host_classes, vm_cpus, budget
+    ):
+        from repro.scheduling.score import anytime_hill_climb
+
+        hosts_a, vms_a = self._scenario(host_classes, vm_cpus)
+        hosts_b, vms_b = self._scenario(host_classes, vm_cpus)
+        first = anytime_hill_climb(build(hosts_a, vms_a), budget=budget)
+        second = anytime_hill_climb(build(hosts_b, vms_b), budget=budget)
+        assert first == second

@@ -138,3 +138,107 @@ class TestExplain:
         off = Host(HostSpec(host_id=0), initial_state=HostState.OFF)
         decision = explain_decision([off], make_vm(1), 0.0)
         assert decision.best is None
+
+
+class TestTraceDurability:
+    """The journaling satellites: drop accounting and torn-tail reads."""
+
+    def test_counts_reports_drops(self):
+        log = EventTrace(capacity=2)
+        for i in range(5):
+            log.emit(float(i), TraceEventKind.PLACEMENT, vm_id=i)
+        assert log.counts()["dropped_records"] == 3
+
+    def test_counts_silent_without_drops(self):
+        log = EventTrace(capacity=10)
+        log.emit(0.0, TraceEventKind.PLACEMENT)
+        assert "dropped_records" not in log.counts()
+
+    def test_unbounded_capacity_never_drops(self):
+        log = EventTrace(capacity=None)
+        for i in range(200_001):
+            log.emit(float(i), TraceEventKind.PLACEMENT)
+        assert len(log) == 200_001
+        assert log.dropped == 0
+        assert "dropped_records" not in log.counts()
+
+    def test_capacity_zero_rejected(self):
+        from repro.errors import ConfigurationError
+
+        with pytest.raises(ConfigurationError):
+            EngineConfig(trace_capacity=0)
+
+    def test_write_jsonl_warns_on_drops(self, tmp_path):
+        log = EventTrace(capacity=2)
+        for i in range(4):
+            log.emit(float(i), TraceEventKind.PLACEMENT, vm_id=i)
+        path = tmp_path / "trace.jsonl"
+        with pytest.warns(RuntimeWarning, match="dropped 2 records"):
+            n = log.write_jsonl(str(path))
+        assert n == 2
+
+    def test_write_jsonl_silent_without_drops(self, tmp_path):
+        import warnings
+
+        log = EventTrace(capacity=10)
+        log.emit(0.0, TraceEventKind.PLACEMENT, vm_id=1)
+        path = tmp_path / "trace.jsonl"
+        with warnings.catch_warnings():
+            warnings.simplefilter("error")
+            log.write_jsonl(str(path))
+
+
+class TestReadJsonl:
+    """The loader satellite: round trips and crash-torn tails."""
+
+    @staticmethod
+    def _sample_log():
+        log = EventTrace()
+        log.emit(1.0, TraceEventKind.PLACEMENT, vm_id=1, host_id=2,
+                 detail="first")
+        log.emit(2.5, TraceEventKind.MIGRATION_START, vm_id=1, host_id=3)
+        log.emit(4.0, TraceEventKind.COMPLETION, vm_id=1, host_id=3)
+        return log
+
+    def test_round_trip(self, tmp_path):
+        from repro.engine.tracing import read_jsonl
+
+        log = self._sample_log()
+        path = tmp_path / "trace.jsonl"
+        log.write_jsonl(str(path))
+        loaded = read_jsonl(str(path))
+        assert [
+            (r.time, r.kind, r.vm_id, r.host_id, r.detail) for r in loaded
+        ] == [
+            (r.time, r.kind, r.vm_id, r.host_id, r.detail)
+            for r in log.records
+        ]
+
+    def test_torn_tail_skipped_with_warning(self, tmp_path):
+        from repro.engine.tracing import read_jsonl
+
+        log = self._sample_log()
+        path = tmp_path / "trace.jsonl"
+        log.write_jsonl(str(path))
+        with open(path, "a", encoding="utf-8") as fh:
+            fh.write('{"time": 9.0, "kind": "comp')  # SIGKILL mid-write
+        with pytest.warns(RuntimeWarning, match="skipping corrupt"):
+            loaded = read_jsonl(str(path))
+        assert len(loaded) == 3
+
+    def test_corrupt_middle_line_skipped(self, tmp_path):
+        from repro.engine.tracing import read_jsonl
+
+        path = tmp_path / "trace.jsonl"
+        good = '{"time": 1.0, "kind": "placement", "vm_id": null, "host_id": null, "detail": ""}'
+        bad = '{"time": 2.0, "kind": "no_such_kind", "vm_id": null, "host_id": null, "detail": ""}'
+        path.write_text(good + "\n" + bad + "\n" + good + "\n")
+        with pytest.warns(RuntimeWarning):
+            loaded = read_jsonl(str(path))
+        assert len(loaded) == 2
+
+    def test_record_from_dict_rejects_missing_keys(self):
+        from repro.engine.tracing import record_from_dict
+
+        with pytest.raises(KeyError):
+            record_from_dict({"time": 1.0})
